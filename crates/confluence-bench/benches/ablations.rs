@@ -1,0 +1,69 @@
+//! Ablation benches: the cost of the scheduling framework itself
+//! (per-decision overhead sweep) and of the two-level workflow hierarchy
+//! (composite sub-workflows vs flat actors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_bench::runner::{run_linear_road_with, PolicyKind, RunOptions};
+use confluence_core::time::Micros;
+use confluence_linearroad::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let config = ExperimentConfig::quick();
+    let workload = Workload::generate(config.workload());
+    let kind = PolicyKind::Qbs { basic_quantum: 500 };
+
+    for overhead in [0u64, 100, 500] {
+        g.bench_function(format!("scheduler_overhead_{overhead}us"), |b| {
+            b.iter(|| {
+                let run = run_linear_road_with(
+                    kind,
+                    &workload,
+                    &config,
+                    RunOptions {
+                        scheduler_overhead: Micros(overhead),
+                        ..RunOptions::default()
+                    },
+                );
+                std::hint::black_box(run.toll_count)
+            })
+        });
+    }
+    for (label, flat) in [("composite", false), ("flat", true)] {
+        g.bench_function(format!("hierarchy_{label}"), |b| {
+            b.iter(|| {
+                let run = run_linear_road_with(
+                    kind,
+                    &workload,
+                    &config,
+                    RunOptions {
+                        flat_subworkflows: flat,
+                        ..RunOptions::default()
+                    },
+                );
+                std::hint::black_box(run.toll_count)
+            })
+        });
+    }
+    g.bench_function("with_load_shedding", |b| {
+        b.iter(|| {
+            let run = run_linear_road_with(
+                kind,
+                &workload,
+                &config,
+                RunOptions {
+                    shed_target: Some(Micros::from_millis(500)),
+                    ..RunOptions::default()
+                },
+            );
+            std::hint::black_box(run.toll_count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5: generating the 0.5-expressway workload and its rate series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_linearroad::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_workload");
+    g.sample_size(10);
+    let config = ExperimentConfig::default();
+    g.bench_function("generate_paper_workload", |b| {
+        b.iter(|| {
+            let w = Workload::generate(config.workload());
+            std::hint::black_box(w.len())
+        })
+    });
+    let w = Workload::generate(config.workload());
+    g.bench_function("rate_series", |b| {
+        b.iter(|| std::hint::black_box(w.rate_series(30).len()))
+    });
+    g.finish();
+
+    // Assert the figure's shape once per bench run.
+    let series = w.rate_series(30);
+    let early = series[1].1;
+    let late = series[series.len() - 2].1;
+    assert!(late > early * 4.0, "Figure 5 ramp must hold: {early} → {late}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

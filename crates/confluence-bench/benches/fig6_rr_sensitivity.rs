@@ -1,0 +1,26 @@
+//! Figure 6: RR scheduler sensitivity to the basic quantum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_bench::runner::{run_linear_road, PolicyKind};
+use confluence_linearroad::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_rr_sensitivity");
+    g.sample_size(10);
+    let config = ExperimentConfig::quick();
+    let workload = Workload::generate(config.workload());
+    for &slice in &config.rr_quanta {
+        g.bench_function(format!("RR-q{slice}"), |b| {
+            b.iter(|| {
+                let run = run_linear_road(PolicyKind::Rr { slice }, &workload, &config);
+                std::hint::black_box(run.toll_count)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 7: QBS scheduler sensitivity to the basic quantum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_bench::runner::{run_linear_road, PolicyKind};
+use confluence_linearroad::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_qbs_sensitivity");
+    g.sample_size(10);
+    let config = ExperimentConfig::quick();
+    let workload = Workload::generate(config.workload());
+    for &basic_quantum in &config.qbs_quanta {
+        g.bench_function(format!("QBS-q{basic_quantum}"), |b| {
+            b.iter(|| {
+                let run = run_linear_road(PolicyKind::Qbs { basic_quantum }, &workload, &config);
+                std::hint::black_box(run.toll_count)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

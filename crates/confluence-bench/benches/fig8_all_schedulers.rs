@@ -1,0 +1,44 @@
+//! Figure 8: the main scheduler comparison (QBS-q500, RR-q40000, RB,
+//! thread-based PNCWF).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_bench::runner::{run_linear_road, PolicyKind};
+use confluence_linearroad::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_all_schedulers");
+    g.sample_size(10);
+    let config = ExperimentConfig::quick();
+    let workload = Workload::generate(config.workload());
+    for kind in [
+        PolicyKind::Rr { slice: 40_000 },
+        PolicyKind::Qbs { basic_quantum: 500 },
+        PolicyKind::Rb,
+        PolicyKind::Pncwf,
+    ] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let run = run_linear_road(kind, &workload, &config);
+                std::hint::black_box(run.toll_count)
+            })
+        });
+    }
+    g.finish();
+
+    // Assert the headline shape once per bench run: the thread-based
+    // baseline saturates earlier than the STAFiLOS schedulers.
+    let qbs = run_linear_road(PolicyKind::Qbs { basic_quantum: 500 }, &workload, &config);
+    let pncwf = run_linear_road(PolicyKind::Pncwf, &workload, &config);
+    if let (Some(staf), Some(os)) = (qbs.thrash_secs, pncwf.thrash_secs) {
+        assert!(os < staf, "PNCWF ({os}s) must thrash before QBS ({staf}s)");
+    }
+    assert!(
+        pncwf.toll_series.mean_secs_before(300) > qbs.toll_series.mean_secs_before(300),
+        "PNCWF pre-saturation response must exceed QBS"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

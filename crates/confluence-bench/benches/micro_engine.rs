@@ -1,0 +1,140 @@
+//! Microbenchmarks of the engine's hot paths: the window operator, the
+//! receiver put/get path, wave stamping, and scheduler decisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_core::event::CwEvent;
+use confluence_core::receiver::{ActorInbox, PortReceiver};
+use confluence_core::time::{Micros, Timestamp};
+use confluence_core::token::Token;
+use confluence_core::window::{GroupBy, WindowOperator, WindowSpec};
+use confluence_sched::framework::{ActorInfo, Scheduler};
+use confluence_sched::policies::QbsScheduler;
+use confluence_sched::stats::StatsModule;
+
+fn report(carid: i64, ts: u64) -> CwEvent {
+    CwEvent::external(
+        Token::record()
+            .field("carid", carid)
+            .field("seg", carid % 100)
+            .field("speed", 55.0)
+            .build(),
+        Timestamp(ts),
+    )
+}
+
+fn bench_window_operator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_operator");
+    g.bench_function("sliding_tuple_grouped_push", |b| {
+        b.iter_with_setup(
+            || {
+                WindowOperator::new(
+                    WindowSpec::tuples(4, 1).group_by(GroupBy::fields(&["carid"])),
+                )
+                .unwrap()
+            },
+            |mut op| {
+                for i in 0..1_000u64 {
+                    op.push(report((i % 50) as i64, i), Timestamp(i)).unwrap();
+                    while op.pop_window().is_some() {}
+                }
+                std::hint::black_box(op.pending_events())
+            },
+        )
+    });
+    g.bench_function("tumbling_time_grouped_push_poll", |b| {
+        b.iter_with_setup(
+            || {
+                WindowOperator::new(
+                    WindowSpec::time(Micros::from_secs(60), Micros::from_secs(60))
+                        .group_by(GroupBy::fields(&["seg"])),
+                )
+                .unwrap()
+            },
+            |mut op| {
+                for i in 0..1_000u64 {
+                    let ts = i * 100_000; // 0.1 s apart
+                    op.push(report(i as i64, ts), Timestamp(ts)).unwrap();
+                    if let Some(d) = op.next_deadline() {
+                        if d.as_micros() <= ts {
+                            op.poll(Timestamp(ts));
+                        }
+                    }
+                    while op.pop_window().is_some() {}
+                }
+                std::hint::black_box(op.ready_len())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_receiver(c: &mut Criterion) {
+    c.bench_function("receiver_put_through_inbox", |b| {
+        b.iter_with_setup(
+            || {
+                let inbox = ActorInbox::new(1);
+                let recv =
+                    PortReceiver::new(WindowSpec::each_event(), inbox.clone(), 0, 1).unwrap();
+                (inbox, recv)
+            },
+            |(inbox, recv)| {
+                for i in 0..1_000u64 {
+                    recv.put(report(i as i64, i), Timestamp(i)).unwrap();
+                    inbox.try_pop();
+                }
+                std::hint::black_box(inbox.len())
+            },
+        )
+    });
+}
+
+fn bench_scheduler_decisions(c: &mut Criterion) {
+    c.bench_function("qbs_decision_cycle", |b| {
+        let infos: Vec<ActorInfo> = (0..16)
+            .map(|i| ActorInfo {
+                index: i,
+                name: format!("a{i}"),
+                priority: (i % 3 * 5 + 5) as i32,
+                is_source: i == 0,
+            })
+            .collect();
+        let stats = StatsModule::new(
+            &confluence_core::graph::WorkflowBuilder::new("empty")
+                .build()
+                .unwrap(),
+        );
+        b.iter_with_setup(
+            || {
+                let mut q = QbsScheduler::new(500, 5);
+                q.init(&infos);
+                q.on_source_ready(0, true);
+                for a in 1..16 {
+                    for _ in 0..4 {
+                        q.on_enqueue(a, Timestamp::ZERO);
+                    }
+                }
+                q
+            },
+            |mut q| {
+                let mut fired = 0u64;
+                while let Some(a) = q.next_actor() {
+                    q.after_fire(a, Micros(700), 0, &stats);
+                    fired += 1;
+                    if fired > 200 {
+                        break;
+                    }
+                }
+                std::hint::black_box(fired)
+            },
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_window_operator,
+    bench_receiver,
+    bench_scheduler_decisions
+);
+criterion_main!(benches);

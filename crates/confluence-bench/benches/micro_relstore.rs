@@ -1,0 +1,77 @@
+//! Microbenchmarks of the relational-store substrate: the operations the
+//! Linear Road toll query leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use confluence_relstore::expr::{col, lit};
+use confluence_relstore::{Agg, Schema, Table, ValueType};
+
+fn stats_table(rows: i64) -> Table {
+    let schema = Schema::builder()
+        .column("xway", ValueType::Int)
+        .column("dir", ValueType::Int)
+        .column("seg", ValueType::Int)
+        .column("minute", ValueType::Int)
+        .column("cars", ValueType::Int)
+        .primary_key(&["xway", "dir", "seg", "minute"])
+        .build()
+        .unwrap();
+    let mut t = Table::new(schema);
+    t.create_index(&["seg"]).unwrap();
+    for i in 0..rows {
+        // (xway, dir, seg, minute) unique per i: seg spans 0..200 so the
+        // (dir, seg) pair pins i within its 200-row block.
+        t.insert(vec![
+            0.into(),
+            (i % 2).into(),
+            (i % 200).into(),
+            (i / 200).into(),
+            (i % 120).into(),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let t = stats_table(20_000);
+    let mut g = c.benchmark_group("relstore");
+
+    g.bench_function("pk_point_lookup", |b| {
+        // Row i = 2057: dir 1, seg 57, minute 10.
+        b.iter(|| {
+            std::hint::black_box(t.get(&[0.into(), 1.into(), 57.into(), 10.into()]))
+        })
+    });
+
+    g.bench_function("secondary_index_select", |b| {
+        let pred = col("seg").eq(lit(57)).and(col("cars").gt(lit(50)));
+        b.iter(|| std::hint::black_box(t.select(Some(&pred)).unwrap().len()))
+    });
+
+    g.bench_function("range_scan_aggregate", |b| {
+        let pred = col("minute").between(lit(40), lit(44));
+        b.iter(|| std::hint::black_box(t.aggregate(Some(&pred), &Agg::Avg("cars".into())).unwrap()))
+    });
+
+    g.bench_function("upsert", |b| {
+        let mut t = stats_table(5_000);
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            t.upsert(vec![
+                0.into(),
+                (i % 2).into(),
+                (i % 200).into(),
+                ((i / 200) % 25).into(),
+                (i % 120).into(),
+            ])
+            .unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--table1] [--table2] [--table3]
+//!             [--fig5] [--fig6] [--fig7] [--fig8]
+//!             [--shedding] [--multi] [--ablations] [--extras] [--stats] [--all]
+//! ```
+//!
+//! With no selection, `--all` is assumed. `--quick` runs a down-scaled
+//! workload with proportionally inflated costs (same crossover shape,
+//! ~1/4 the events). `--csv DIR` additionally writes each figure's data
+//! as a CSV file under DIR (plot-ready artifacts).
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_bench::{extensions, figures};
+use confluence_core::director::taxonomy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let all = has("--all") || !args.iter().any(|a| a.starts_with("--") && a != "--quick");
+    let config = if has("--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let write_csv = |name: &str, content: String| {
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(name);
+            std::fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    if all || has("--table1") {
+        println!("Table 1: Taxonomy of directors (Kepler / PtolemyII / CWf)\n");
+        println!("{}", taxonomy::render_table());
+    }
+    if all || has("--table2") {
+        println!("{}", render_table2());
+    }
+    if all || has("--table3") {
+        println!("{}", config.render_table3());
+    }
+    if all || has("--fig5") {
+        let series = figures::fig5_workload(&config);
+        println!("{}", figures::render_fig5(&series));
+        write_csv("fig5_workload.csv", figures::fig5_to_csv(&series));
+    }
+    if all || has("--fig6") {
+        let curves = figures::fig6_rr_sensitivity(&config);
+        println!(
+            "{}",
+            figures::render_curves(
+                "Figure 6: Response Times of the RR scheduler (varying basic quantum)",
+                &curves
+            )
+        );
+        write_csv("fig6_rr_sensitivity.csv", figures::curves_to_csv(&curves));
+    }
+    if all || has("--fig7") {
+        let curves = figures::fig7_qbs_sensitivity(&config);
+        println!(
+            "{}",
+            figures::render_curves(
+                "Figure 7: Response Times of the QBS scheduler (varying basic quantum)",
+                &curves
+            )
+        );
+        write_csv("fig7_qbs_sensitivity.csv", figures::curves_to_csv(&curves));
+    }
+    if all || has("--fig8") {
+        let curves = figures::fig8_all_schedulers(&config);
+        println!(
+            "{}",
+            figures::render_curves("Figure 8: Response Times of all the main schedulers", &curves)
+        );
+        write_csv("fig8_all_schedulers.csv", figures::curves_to_csv(&curves));
+    }
+    if all || has("--shedding") {
+        println!(
+            "{}",
+            extensions::render_shedding(&extensions::shedding_experiment(&config))
+        );
+    }
+    if all || has("--multi") {
+        println!(
+            "{}",
+            extensions::render_multi(&extensions::multi_workflow_experiment(&config))
+        );
+    }
+    if all || has("--ablations") {
+        println!("{}", extensions::render_ablations(&extensions::ablations(&config)));
+    }
+    if all || has("--extras") {
+        println!("{}", extensions::extras_experiment(&config));
+    }
+    if all || has("--stats") {
+        println!("{}", extensions::actor_stats_experiment(&config));
+    }
+}
+
+/// Table 2: the realized actor-state conditions, printed from the living
+/// policy implementations (asserted in each policy's unit tests).
+fn render_table2() -> String {
+    let mut out =
+        String::from("Table 2: State conditions for an actor A in the different schedulers\n\n");
+    out.push_str("QBS and RR schedulers:\n");
+    out.push_str("  ACTIVE   (internal) events queued AND positive quantum/slice\n");
+    out.push_str("  ACTIVE   (source)   due arrival (scheduled at regular intervals)\n");
+    out.push_str("  WAITING  (internal) events queued AND non-positive quantum/slice\n");
+    out.push_str("  WAITING  (source)   no due arrival\n");
+    out.push_str("  INACTIVE (internal) no events queued (quantum preserved under QBS,\n");
+    out.push_str("                      fresh slice on new events under RR)\n\n");
+    out.push_str("RB scheduler:\n");
+    out.push_str("  ACTIVE   (internal) events in the current-period queue\n");
+    out.push_str("  ACTIVE   (source)   has not yet fired in the current period\n");
+    out.push_str("  WAITING  (internal) no current events, events in the next-period buffer\n");
+    out.push_str("  WAITING  (source)   has fired in the current period\n");
+    out.push_str("  INACTIVE (internal) no events in queue or buffer (sources never inactive)\n");
+    out
+}

@@ -1,0 +1,109 @@
+//! Experimental setup (paper Table 3).
+
+use confluence_linearroad::WorkloadConfig;
+
+/// The parameters of Table 3, as used by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Workload L-rating (0.5 expressways).
+    pub l_rating: f64,
+    /// Experiment duration in seconds (600).
+    pub duration_secs: u64,
+    /// QBS source scheduling interval: one source firing per this many
+    /// internal actor iterations (5).
+    pub qbs_source_interval: u64,
+    /// Basic quantum values swept for QBS, in µs.
+    pub qbs_quanta: Vec<u64>,
+    /// Basic quantum (slice) values swept for RR, in µs.
+    pub rr_quanta: Vec<u64>,
+    /// Designer priorities used under QBS: output actors / statistics.
+    pub priorities: (i32, i32),
+    /// Response-time bucket width for the figures, in seconds.
+    pub bucket_secs: u64,
+    /// Saturation threshold for thrash detection, in seconds.
+    pub thrash_threshold_secs: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            l_rating: 0.5,
+            duration_secs: 600,
+            qbs_source_interval: 5,
+            qbs_quanta: vec![500, 1_000, 5_000, 10_000, 20_000],
+            rr_quanta: vec![5_000, 10_000, 20_000, 40_000],
+            priorities: (5, 10),
+            bucket_secs: 10,
+            thrash_threshold_secs: 4.0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The workload configuration this experiment setup implies.
+    pub fn workload(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            duration_secs: self.duration_secs,
+            l_rating: self.l_rating,
+            ..WorkloadConfig::paper()
+        }
+    }
+
+    /// A down-scaled setup for quick CI runs (same shape, ~1/4 the events).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            l_rating: 0.125,
+            ..Self::default()
+        }
+    }
+
+    /// Render Table 3 as text.
+    pub fn render_table3(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 3: Experimental setup\n");
+        out.push_str(&format!("  Workload L-rating              {} highways\n", self.l_rating));
+        out.push_str(&format!("  Experiment duration            {} sec\n", self.duration_secs));
+        out.push_str(&format!(
+            "  QBS source scheduling interval {} internal actor iterations\n",
+            self.qbs_source_interval
+        ));
+        out.push_str(&format!("  Basic Quantum (QBS) (µs)       {:?}\n", self.qbs_quanta));
+        out.push_str(&format!("  Basic Quantum (RR) (µs)        {:?}\n", self.rr_quanta));
+        out.push_str(&format!(
+            "  Priorities used (QBS)          {}, {}\n",
+            self.priorities.0, self.priorities.1
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_3() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.l_rating, 0.5);
+        assert_eq!(c.duration_secs, 600);
+        assert_eq!(c.qbs_source_interval, 5);
+        assert_eq!(c.qbs_quanta, vec![500, 1_000, 5_000, 10_000, 20_000]);
+        assert_eq!(c.rr_quanta, vec![5_000, 10_000, 20_000, 40_000]);
+        assert_eq!(c.priorities, (5, 10));
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = ExperimentConfig::default().render_table3();
+        for needle in ["0.5 highways", "600 sec", "5 internal", "500", "40000", "5, 10"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn quick_setup_scales_down() {
+        let q = ExperimentConfig::quick();
+        assert!(q.l_rating < 0.5);
+        assert_eq!(q.duration_secs, 600);
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared experiment runner: one Linear Road run under one scheduler.
+
+use confluence_core::director::Director;
+use confluence_core::time::{Micros, Timestamp};
+use confluence_linearroad::cost::{pncwf_cost_model, staf_cost_model};
+use confluence_linearroad::{build, LrOptions, ResponseSeries, Workload};
+use confluence_sched::cost::CostModel;
+use confluence_sched::policies::{
+    EdfScheduler, FifoScheduler, OsThreadScheduler, QbsScheduler, RbScheduler, RrScheduler,
+};
+use confluence_sched::{Scheduler, ScwfDirector};
+
+use crate::config::ExperimentConfig;
+
+/// Which scheduler to run (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Quantum Priority Based with the given basic quantum (µs).
+    Qbs {
+        /// Basic quantum `b` in µs.
+        basic_quantum: u64,
+    },
+    /// Round-Robin with the given slice (µs).
+    Rr {
+        /// Per-period slice in µs.
+        slice: u64,
+    },
+    /// Rate-Based (Highest Rate).
+    Rb,
+    /// The thread-based PNCWF baseline (simulated: arrival-order policy
+    /// plus thread-overhead costs).
+    Pncwf,
+    /// Plain FIFO (not in the paper; used as an extra baseline).
+    Fifo,
+    /// Earliest-deadline-first (extension policy; delay target in µs).
+    Edf {
+        /// Delay target in µs.
+        target: u64,
+    },
+}
+
+impl PolicyKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Qbs { basic_quantum } => format!("QBS-q{basic_quantum}"),
+            PolicyKind::Rr { slice } => format!("RR-q{slice}"),
+            PolicyKind::Rb => "RB".to_string(),
+            PolicyKind::Pncwf => "PNCWF".to_string(),
+            PolicyKind::Fifo => "FIFO".to_string(),
+            PolicyKind::Edf { target } => format!("EDF-t{target}"),
+        }
+    }
+}
+
+/// A cost model scaled by a constant factor (used to down-scale workloads
+/// while preserving the saturation dynamics).
+struct ScaledCost<M> {
+    inner: M,
+    factor: f64,
+}
+
+impl<M: CostModel> CostModel for ScaledCost<M> {
+    fn firing_cost(&self, actor: usize, name: &str, consumed: u64, produced: u64) -> Micros {
+        let base = self.inner.firing_cost(actor, name, consumed, produced);
+        Micros((base.as_micros() as f64 * self.factor).round() as u64)
+    }
+}
+
+/// Knobs beyond the scheduler choice (ablations and extensions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Per-decision scheduler overhead charged in virtual time (the cost
+    /// of the scheduling framework itself — ablation knob).
+    pub scheduler_overhead: Micros,
+    /// Use flat actors instead of composite sub-workflows (ablation knob).
+    pub flat_subworkflows: bool,
+    /// Enable adaptive load shedding with this response-time target.
+    pub shed_target: Option<Micros>,
+}
+
+/// Results of one Linear Road run.
+pub struct LrRun {
+    /// Scheduler label.
+    pub label: String,
+    /// Response-time series at the TollNotification output.
+    pub toll_series: ResponseSeries,
+    /// Response-time series at AccidentNotificationOut.
+    pub accident_series: ResponseSeries,
+    /// Thrash point (seconds), if the scheduler saturated.
+    pub thrash_secs: Option<u64>,
+    /// Total actor firings.
+    pub firings: u64,
+    /// Number of toll notifications produced.
+    pub toll_count: usize,
+    /// Fraction of position reports dropped by the shedder (0 when
+    /// shedding is off).
+    pub shed_fraction: f64,
+}
+
+/// Run the Linear Road workflow under one scheduler in virtual time.
+///
+/// The run is cut off shortly after the experiment duration: once the
+/// offered load exceeds capacity, the backlog would otherwise keep the
+/// virtual clock crawling long past the window the paper plots.
+pub fn run_linear_road(kind: PolicyKind, workload: &Workload, config: &ExperimentConfig) -> LrRun {
+    run_linear_road_with(kind, workload, config, RunOptions::default())
+}
+
+/// [`run_linear_road`] with ablation/extension knobs.
+pub fn run_linear_road_with(
+    kind: PolicyKind,
+    workload: &Workload,
+    config: &ExperimentConfig,
+    options: RunOptions,
+) -> LrRun {
+    let lr = build(
+        workload,
+        &LrOptions {
+            composite_subworkflows: !options.flat_subworkflows,
+            shed_target: options.shed_target,
+        },
+    )
+    .expect("workflow builds");
+    let mut lr = lr;
+    let interval = config.qbs_source_interval;
+    let policy: Box<dyn Scheduler> = match kind {
+        PolicyKind::Qbs { basic_quantum } => Box::new(QbsScheduler::new(basic_quantum, interval)),
+        PolicyKind::Rr { slice } => Box::new(RrScheduler::new(slice, interval)),
+        PolicyKind::Rb => Box::new(RbScheduler::new()),
+        PolicyKind::Pncwf => Box::new(OsThreadScheduler::new()),
+        PolicyKind::Fifo => Box::new(FifoScheduler::new(interval)),
+        PolicyKind::Edf { target } => Box::new(EdfScheduler::new(Micros(target), interval)),
+    };
+    // Down-scaled workloads get proportionally inflated costs so the
+    // capacity-vs-ramp crossover lands at the same run time.
+    let scale = 0.5 / workload.config.l_rating.max(1e-9);
+    let cost: Box<dyn CostModel> = if kind == PolicyKind::Pncwf {
+        Box::new(ScaledCost {
+            inner: pncwf_cost_model(),
+            factor: scale,
+        })
+    } else {
+        Box::new(ScaledCost {
+            inner: staf_cost_model(),
+            factor: scale,
+        })
+    };
+    let mut director = ScwfDirector::virtual_time(policy, cost)
+        .with_scheduler_overhead(options.scheduler_overhead)
+        .with_deadline(Timestamp::from_secs(config.duration_secs + 20));
+    let report = director.run(&mut lr.workflow).expect("run succeeds");
+
+    let toll_series = ResponseSeries::new(lr.toll_output.latency_samples());
+    let accident_series = ResponseSeries::new(lr.accident_output.latency_samples());
+    let thrash_secs = toll_series.thrash_point(config.bucket_secs, config.thrash_threshold_secs, 2);
+    let shed_fraction = lr
+        .shedder
+        .as_ref()
+        .map(|h| h.stats().drop_fraction())
+        .unwrap_or(0.0);
+    LrRun {
+        label: kind.label(),
+        toll_count: lr.toll_output.len(),
+        toll_series,
+        accident_series,
+        thrash_secs,
+        firings: report.firings,
+        shed_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(PolicyKind::Qbs { basic_quantum: 500 }.label(), "QBS-q500");
+        assert_eq!(PolicyKind::Rr { slice: 40_000 }.label(), "RR-q40000");
+        assert_eq!(PolicyKind::Rb.label(), "RB");
+        assert_eq!(PolicyKind::Pncwf.label(), "PNCWF");
+        assert_eq!(PolicyKind::Fifo.label(), "FIFO");
+    }
+
+    #[test]
+    fn quick_run_produces_series() {
+        let config = ExperimentConfig::quick();
+        let workload = Workload::generate(config.workload());
+        let run = run_linear_road(PolicyKind::Fifo, &workload, &config);
+        assert!(run.toll_count > 0);
+        assert!(run.firings > 1_000);
+        assert!(!run.toll_series.is_empty());
+    }
+}

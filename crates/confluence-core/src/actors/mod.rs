@@ -1,0 +1,817 @@
+//! The standard actor library.
+//!
+//! Sources ([`VecSource`], [`TimedSource`], [`GeneratorSource`],
+//! [`PushSource`], [`net::TcpPushSource`]), stream transforms ([`Map`],
+//! [`Filter`], [`FnActor`], [`Router`], [`Union`], [`HashJoin`],
+//! [`Dedup`], [`Throttle`]), and sinks ([`Collector`], [`LatencyProbe`]).
+//! These are the building blocks workflow designers wire together; the
+//! Linear Road workflow in `confluence-linearroad` is composed of them plus
+//! domain-specific actors.
+
+pub mod net;
+mod stream_ops;
+
+pub use net::{HttpPushSource, TcpPushSource};
+pub use stream_ops::{Dedup, HashJoin, Throttle};
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::actor::{Actor, FireContext, IoSignature};
+use crate::error::{Error, Result};
+use crate::event::CwEvent;
+use crate::time::{Micros, Timestamp};
+use crate::token::Token;
+use crate::window::Window;
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// A source that emits a fixed sequence of tokens, one per firing.
+pub struct VecSource {
+    items: VecDeque<Token>,
+}
+
+impl VecSource {
+    /// Source over the given tokens.
+    pub fn new(items: Vec<Token>) -> Self {
+        VecSource {
+            items: items.into(),
+        }
+    }
+}
+
+impl Actor for VecSource {
+    fn signature(&self) -> IoSignature {
+        IoSignature::source("out")
+    }
+
+    fn prefire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.items.is_empty())
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        if let Some(t) = self.items.pop_front() {
+            ctx.emit(0, t);
+        }
+        Ok(())
+    }
+
+    fn postfire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.items.is_empty())
+    }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn next_arrival(&self) -> Option<Timestamp> {
+        // A VecSource is "always ready": it asks to fire immediately.
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(Timestamp::ZERO)
+        }
+    }
+}
+
+/// A source driven by a timetable: each token carries the time at which it
+/// enters the workflow. This is how external data streams (e.g. the Linear
+/// Road position-report feed) are injected in virtual-time runs.
+pub struct TimedSource {
+    /// Remaining `(arrival, token)` pairs, ascending by arrival.
+    schedule: VecDeque<(Timestamp, Token)>,
+}
+
+impl TimedSource {
+    /// Source over an arrival schedule. The schedule is sorted by arrival
+    /// time defensively.
+    pub fn new(mut schedule: Vec<(Timestamp, Token)>) -> Self {
+        schedule.sort_by_key(|(t, _)| *t);
+        TimedSource {
+            schedule: schedule.into(),
+        }
+    }
+
+    /// How many events remain unreleased.
+    pub fn remaining(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+impl Actor for TimedSource {
+    fn signature(&self) -> IoSignature {
+        IoSignature::source("out")
+    }
+
+    fn prefire(&mut self, ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(self
+            .schedule
+            .front()
+            .is_some_and(|(t, _)| *t <= ctx.now()))
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        // Release every event whose arrival time has passed.
+        while self
+            .schedule
+            .front()
+            .is_some_and(|(t, _)| *t <= ctx.now())
+        {
+            let (_, token) = self.schedule.pop_front().expect("checked front");
+            ctx.emit(0, token);
+        }
+        Ok(())
+    }
+
+    fn postfire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.schedule.is_empty())
+    }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn next_arrival(&self) -> Option<Timestamp> {
+        self.schedule.front().map(|(t, _)| *t)
+    }
+}
+
+/// A source driven by a closure: fired repeatedly until it returns `None`.
+pub struct GeneratorSource<F> {
+    gen: F,
+    iteration: u64,
+    done: bool,
+}
+
+impl<F> GeneratorSource<F>
+where
+    F: FnMut(u64) -> Option<Token> + Send,
+{
+    /// Source calling `gen(iteration)` once per firing.
+    pub fn new(gen: F) -> Self {
+        GeneratorSource {
+            gen,
+            iteration: 0,
+            done: false,
+        }
+    }
+}
+
+impl<F> Actor for GeneratorSource<F>
+where
+    F: FnMut(u64) -> Option<Token> + Send,
+{
+    fn signature(&self) -> IoSignature {
+        IoSignature::source("out")
+    }
+
+    fn prefire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.done)
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        match (self.gen)(self.iteration) {
+            Some(t) => {
+                self.iteration += 1;
+                ctx.emit(0, t);
+            }
+            None => self.done = true,
+        }
+        Ok(())
+    }
+
+    fn postfire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.done)
+    }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn next_arrival(&self) -> Option<Timestamp> {
+        if self.done {
+            None
+        } else {
+            Some(Timestamp::ZERO)
+        }
+    }
+}
+
+/// Producer handle for a [`PushSource`].
+///
+/// Clones share the same channel; dropping every handle ends the stream.
+#[derive(Clone)]
+pub struct PushHandle {
+    tx: crossbeam::channel::Sender<Token>,
+}
+
+impl PushHandle {
+    /// Push a token into the workflow. Returns `false` if the source is
+    /// gone.
+    pub fn push(&self, token: Token) -> bool {
+        self.tx.send(token).is_ok()
+    }
+}
+
+/// A push-communication source: external producers (a TCP/HTTP feed in the
+/// paper; any thread here) push tokens through a [`PushHandle`] and the
+/// source pumps them into the workflow at the rate dictated by the
+/// director's execution model.
+pub struct PushSource {
+    rx: crossbeam::channel::Receiver<Token>,
+    disconnected: bool,
+}
+
+impl PushSource {
+    /// Create the source and its producer handle.
+    pub fn new() -> (Self, PushHandle) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (
+            PushSource {
+                rx,
+                disconnected: false,
+            },
+            PushHandle { tx },
+        )
+    }
+}
+
+impl Actor for PushSource {
+    fn signature(&self) -> IoSignature {
+        IoSignature::source("out")
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(t) => ctx.emit(0, t),
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn postfire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.disconnected)
+    }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn next_arrival(&self) -> Option<Timestamp> {
+        if self.disconnected {
+            None
+        } else {
+            Some(Timestamp::ZERO)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transforms
+// ---------------------------------------------------------------------------
+
+/// Applies a function to every token of every input window; `Some` results
+/// are emitted on the single output.
+pub struct Map<F> {
+    f: F,
+}
+
+impl<F> Map<F>
+where
+    F: FnMut(&Token) -> Result<Option<Token>> + Send,
+{
+    /// Map with a fallible, optionally-filtering function.
+    pub fn new(f: F) -> Self {
+        Map { f }
+    }
+}
+
+impl<F> Actor for Map<F>
+where
+    F: FnMut(&Token) -> Result<Option<Token>> + Send,
+{
+    fn signature(&self) -> IoSignature {
+        IoSignature::transform("in", "out")
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        while let Some(w) = ctx.get(0) {
+            for t in w.tokens() {
+                if let Some(out) = (self.f)(t)? {
+                    ctx.emit(0, out);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Passes through tokens satisfying a predicate.
+pub struct Filter<F> {
+    pred: F,
+}
+
+impl<F> Filter<F>
+where
+    F: FnMut(&Token) -> Result<bool> + Send,
+{
+    /// Filter with a fallible predicate.
+    pub fn new(pred: F) -> Self {
+        Filter { pred }
+    }
+}
+
+impl<F> Actor for Filter<F>
+where
+    F: FnMut(&Token) -> Result<bool> + Send,
+{
+    fn signature(&self) -> IoSignature {
+        IoSignature::transform("in", "out")
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        while let Some(w) = ctx.get(0) {
+            for t in w.tokens() {
+                if (self.pred)(t)? {
+                    ctx.emit(0, t.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The general window-processing actor: full control over windows in and
+/// emissions out. Most domain actors (the Linear Road operators) are
+/// `FnActor`s.
+pub struct FnActor<F> {
+    signature: IoSignature,
+    f: F,
+}
+
+impl<F> FnActor<F>
+where
+    F: FnMut(&Window, &mut dyn FnMut(usize, Token)) -> Result<()> + Send,
+{
+    /// A windowed actor with the given ports; `f` is called once per ready
+    /// input window (from any port) with an emission callback.
+    pub fn new(signature: IoSignature, f: F) -> Self {
+        FnActor { signature, f }
+    }
+}
+
+impl<F> Actor for FnActor<F>
+where
+    F: FnMut(&Window, &mut dyn FnMut(usize, Token)) -> Result<()> + Send,
+{
+    fn signature(&self) -> IoSignature {
+        self.signature.clone()
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        while let Some((_port, w)) = ctx.get_any() {
+            let mut outs: Vec<(usize, Token)> = Vec::new();
+            (self.f)(&w, &mut |port, token| outs.push((port, token)))?;
+            for (port, token) in outs {
+                ctx.emit(port, token);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Routes each token to the output port chosen by a classifier function
+/// (`None` drops the token).
+pub struct Router<F> {
+    outputs: Vec<String>,
+    route: F,
+}
+
+impl<F> Router<F>
+where
+    F: FnMut(&Token) -> Result<Option<usize>> + Send,
+{
+    /// Router with named output ports.
+    pub fn new(outputs: &[&str], route: F) -> Self {
+        Router {
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            route,
+        }
+    }
+}
+
+impl<F> Actor for Router<F>
+where
+    F: FnMut(&Token) -> Result<Option<usize>> + Send,
+{
+    fn signature(&self) -> IoSignature {
+        IoSignature {
+            inputs: vec!["in".to_string()],
+            outputs: self.outputs.clone(),
+        }
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        let n = self.outputs.len();
+        while let Some(w) = ctx.get(0) {
+            for t in w.tokens() {
+                if let Some(port) = (self.route)(t)? {
+                    if port >= n {
+                        return Err(Error::UnknownPort(format!(
+                            "router chose output {port} of {n}"
+                        )));
+                    }
+                    ctx.emit(port, t.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Merges any number of input streams into one output, preserving per-port
+/// arrival order.
+pub struct Union {
+    inputs: Vec<String>,
+}
+
+impl Union {
+    /// A union over `n` input ports named `in0..in{n-1}`.
+    pub fn new(n: usize) -> Self {
+        Union {
+            inputs: (0..n).map(|i| format!("in{i}")).collect(),
+        }
+    }
+}
+
+impl Actor for Union {
+    fn signature(&self) -> IoSignature {
+        IoSignature {
+            inputs: self.inputs.clone(),
+            outputs: vec!["out".to_string()],
+        }
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        while let Some((_, w)) = ctx.get_any() {
+            for t in w.tokens() {
+                ctx.emit(0, t.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A collected sink item: when it was received and the event itself.
+#[derive(Debug, Clone)]
+pub struct Collected {
+    /// Director time at receipt.
+    pub received_at: Timestamp,
+    /// The received event.
+    pub event: CwEvent,
+}
+
+/// Handle to a collecting sink's storage. Create with [`Collector::new`],
+/// obtain the actor with [`Collector::actor`], inspect after the run.
+#[derive(Clone, Default)]
+pub struct Collector {
+    items: Arc<Mutex<Vec<Collected>>>,
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sink actor feeding this collector.
+    pub fn actor(&self) -> CollectorActor {
+        CollectorActor {
+            items: self.items.clone(),
+        }
+    }
+
+    /// Everything collected so far.
+    pub fn items(&self) -> Vec<Collected> {
+        self.items.lock().clone()
+    }
+
+    /// Collected payload tokens, in receipt order.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.items
+            .lock()
+            .iter()
+            .map(|c| c.event.token.clone())
+            .collect()
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The sink actor behind a [`Collector`] handle.
+pub struct CollectorActor {
+    items: Arc<Mutex<Vec<Collected>>>,
+}
+
+impl Actor for CollectorActor {
+    fn signature(&self) -> IoSignature {
+        IoSignature::sink("in")
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        let now = ctx.now();
+        while let Some(w) = ctx.get(0) {
+            let mut items = self.items.lock();
+            for event in &w.events {
+                items.push(Collected {
+                    received_at: now,
+                    event: event.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One response-time sample: when the result appeared and how long after
+/// its wave's initiating external event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// Director time at which the result was observed.
+    pub at: Timestamp,
+    /// Response time: observation time minus wave-origin timestamp.
+    pub latency: Micros,
+}
+
+/// Handle to a latency-measuring sink (the paper measures response time at
+/// the TollNotification output actor — this is that probe).
+#[derive(Clone, Default)]
+pub struct LatencyProbe {
+    samples: Arc<Mutex<Vec<LatencySample>>>,
+}
+
+impl LatencyProbe {
+    /// A fresh probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sink actor feeding this probe.
+    pub fn actor(&self) -> LatencyProbeActor {
+        LatencyProbeActor {
+            samples: self.samples.clone(),
+        }
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> Vec<LatencySample> {
+        self.samples.lock().clone()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean response time over all samples, if any.
+    pub fn mean_latency(&self) -> Option<Micros> {
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return None;
+        }
+        let total: u64 = samples.iter().map(|s| s.latency.as_micros()).sum();
+        Some(Micros(total / samples.len() as u64))
+    }
+}
+
+/// The sink actor behind a [`LatencyProbe`] handle.
+pub struct LatencyProbeActor {
+    samples: Arc<Mutex<Vec<LatencySample>>>,
+}
+
+impl Actor for LatencyProbeActor {
+    fn signature(&self) -> IoSignature {
+        IoSignature::sink("in")
+    }
+
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        let now = ctx.now();
+        while let Some(w) = ctx.get(0) {
+            let mut samples = self.samples.lock();
+            for event in &w.events {
+                samples.push(LatencySample {
+                    at: now,
+                    latency: event.latency_at(now),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::MockContext;
+
+    #[test]
+    fn vec_source_emits_then_finishes() {
+        let mut s = VecSource::new(vec![Token::Int(1), Token::Int(2)]);
+        assert!(s.is_source());
+        let mut ctx = MockContext::new(0);
+        assert!(s.prefire(&mut ctx).unwrap());
+        s.fire(&mut ctx).unwrap();
+        assert!(s.postfire(&mut ctx).unwrap());
+        s.fire(&mut ctx).unwrap();
+        assert!(!s.postfire(&mut ctx).unwrap());
+        assert!(!s.prefire(&mut ctx).unwrap());
+        assert_eq!(ctx.emitted_on(0), vec![Token::Int(1), Token::Int(2)]);
+        assert_eq!(s.next_arrival(), None);
+    }
+
+    #[test]
+    fn timed_source_releases_by_schedule() {
+        let mut s = TimedSource::new(vec![
+            (Timestamp(30), Token::Int(3)), // out of order on purpose
+            (Timestamp(10), Token::Int(1)),
+            (Timestamp(20), Token::Int(2)),
+        ]);
+        assert_eq!(s.next_arrival(), Some(Timestamp(10)));
+        assert_eq!(s.remaining(), 3);
+        let mut ctx = MockContext::new(0).at(Timestamp(5));
+        assert!(!s.prefire(&mut ctx).unwrap(), "nothing due yet");
+        ctx.set_now(Timestamp(20));
+        assert!(s.prefire(&mut ctx).unwrap());
+        s.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0), vec![Token::Int(1), Token::Int(2)]);
+        assert!(s.postfire(&mut ctx).unwrap());
+        assert_eq!(s.next_arrival(), Some(Timestamp(30)));
+        ctx.set_now(Timestamp(30));
+        s.fire(&mut ctx).unwrap();
+        assert!(!s.postfire(&mut ctx).unwrap());
+    }
+
+    #[test]
+    fn generator_source_runs_until_none() {
+        let mut s = GeneratorSource::new(|i| if i < 3 { Some(Token::Int(i as i64)) } else { None });
+        let mut ctx = MockContext::new(0);
+        for _ in 0..4 {
+            s.fire(&mut ctx).unwrap();
+        }
+        assert!(!s.postfire(&mut ctx).unwrap());
+        assert_eq!(ctx.emitted_on(0).len(), 3);
+        assert_eq!(s.next_arrival(), None);
+    }
+
+    #[test]
+    fn push_source_pumps_pushed_tokens() {
+        let (mut s, handle) = PushSource::new();
+        assert!(handle.push(Token::Int(1)));
+        assert!(handle.push(Token::Int(2)));
+        let mut ctx = MockContext::new(0);
+        s.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0).len(), 2);
+        assert!(s.postfire(&mut ctx).unwrap());
+        drop(handle);
+        s.fire(&mut ctx).unwrap();
+        assert!(!s.postfire(&mut ctx).unwrap(), "stream ends when handles drop");
+    }
+
+    #[test]
+    fn map_transforms_and_filters() {
+        let mut m = Map::new(|t: &Token| {
+            let v = t.as_int()?;
+            Ok(if v % 2 == 0 { Some(Token::Int(v * 10)) } else { None })
+        });
+        let mut ctx = MockContext::new(1);
+        for v in 1..=4 {
+            ctx.push_token(0, Token::Int(v), Timestamp(v as u64));
+        }
+        m.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0), vec![Token::Int(20), Token::Int(40)]);
+    }
+
+    #[test]
+    fn filter_passes_matching() {
+        let mut f = Filter::new(|t: &Token| Ok(t.as_int()? > 2));
+        let mut ctx = MockContext::new(1);
+        for v in 1..=4 {
+            ctx.push_token(0, Token::Int(v), Timestamp(v as u64));
+        }
+        f.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0), vec![Token::Int(3), Token::Int(4)]);
+    }
+
+    #[test]
+    fn fn_actor_sees_whole_windows() {
+        let mut a = FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+            emit(0, Token::Int(w.len() as i64));
+            Ok(())
+        });
+        let mut ctx = MockContext::new(1);
+        ctx.push_window(
+            0,
+            Window {
+                group: Token::Unit,
+                events: vec![
+                    CwEvent::external(Token::Int(1), Timestamp(1)),
+                    CwEvent::external(Token::Int(2), Timestamp(2)),
+                ],
+                formed_at: Timestamp(2),
+                timed_out: false,
+            },
+        );
+        a.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0), vec![Token::Int(2)]);
+    }
+
+    #[test]
+    fn router_dispatches_by_port() {
+        let mut r = Router::new(&["even", "odd"], |t: &Token| {
+            Ok(Some((t.as_int()? % 2) as usize))
+        });
+        assert_eq!(r.signature().outputs, vec!["even", "odd"]);
+        let mut ctx = MockContext::new(1);
+        for v in 1..=4 {
+            ctx.push_token(0, Token::Int(v), Timestamp(v as u64));
+        }
+        r.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0), vec![Token::Int(2), Token::Int(4)]);
+        assert_eq!(ctx.emitted_on(1), vec![Token::Int(1), Token::Int(3)]);
+    }
+
+    #[test]
+    fn router_rejects_out_of_range_port() {
+        let mut r = Router::new(&["only"], |_t: &Token| Ok(Some(7)));
+        let mut ctx = MockContext::new(1);
+        ctx.push_token(0, Token::Int(1), Timestamp(1));
+        assert!(r.fire(&mut ctx).is_err());
+    }
+
+    #[test]
+    fn union_merges_ports() {
+        let mut u = Union::new(2);
+        assert_eq!(u.signature().inputs, vec!["in0", "in1"]);
+        let mut ctx = MockContext::new(2);
+        ctx.push_token(0, Token::Int(1), Timestamp(1));
+        ctx.push_token(1, Token::Int(2), Timestamp(2));
+        u.fire(&mut ctx).unwrap();
+        assert_eq!(ctx.emitted_on(0).len(), 2);
+    }
+
+    #[test]
+    fn collector_gathers_events() {
+        let c = Collector::new();
+        let mut actor = c.actor();
+        let mut ctx = MockContext::new(1).at(Timestamp(99));
+        ctx.push_token(0, Token::Int(5), Timestamp(1));
+        actor.fire(&mut ctx).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.tokens(), vec![Token::Int(5)]);
+        assert_eq!(c.items()[0].received_at, Timestamp(99));
+    }
+
+    #[test]
+    fn latency_probe_measures_response_time() {
+        let p = LatencyProbe::new();
+        let mut actor = p.actor();
+        let mut ctx = MockContext::new(1).at(Timestamp(1_500));
+        ctx.push_token(0, Token::Int(1), Timestamp(1_000));
+        actor.fire(&mut ctx).unwrap();
+        let samples = p.samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].latency, Micros(500));
+        assert_eq!(samples[0].at, Timestamp(1_500));
+        assert_eq!(p.mean_latency(), Some(Micros(500)));
+        assert!(!p.is_empty());
+        assert_eq!(LatencyProbe::new().mean_latency(), None);
+    }
+}

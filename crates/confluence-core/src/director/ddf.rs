@@ -1,0 +1,320 @@
+//! The DDF (Dynamic Dataflow) director: data-driven execution.
+//!
+//! No pre-compiled schedule: an actor is fired whenever a window is ready
+//! on one of its inputs. Used for Linear Road sub-workflows whose
+//! consumption and production rates are fluid (decision points,
+//! non-constant production — paper Appendix A).
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::graph::{ActorId, Workflow};
+use crate::time::{SharedClock, VirtualClock};
+
+use super::{Director, Fabric, QueueContext, RunReport};
+
+/// Fires any actor with ready data until the workflow quiesces.
+pub struct DdfDirector {
+    clock: SharedClock,
+    /// Safety bound against runaway graphs (cycles that generate tokens
+    /// forever). Exceeding it is an error.
+    pub max_firings: u64,
+}
+
+impl Default for DdfDirector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DdfDirector {
+    /// A director on a fresh virtual clock.
+    pub fn new() -> Self {
+        DdfDirector {
+            clock: Arc::new(VirtualClock::new()),
+            max_firings: 1_000_000,
+        }
+    }
+
+    /// Override the runaway-firing bound.
+    pub fn with_max_firings(mut self, n: u64) -> Self {
+        self.max_firings = n;
+        self
+    }
+
+    /// Fire `id` once with the next window from its inbox (if any).
+    /// Returns whether a firing happened.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_once(
+        &self,
+        workflow: &mut Workflow,
+        fabric: &Fabric,
+        contexts: &mut [QueueContext],
+        report: &mut RunReport,
+        done: &mut [bool],
+        id: ActorId,
+    ) -> Result<bool> {
+        if done[id.0] {
+            // Finished actors drop late windows.
+            while fabric.inbox(id).try_pop().is_some() {}
+            return Ok(false);
+        }
+        let Some((port, window)) = fabric.inbox(id).try_pop() else {
+            return Ok(false);
+        };
+        let now = self.clock.now();
+        let ctx = &mut contexts[id.0];
+        ctx.set_now(now);
+        ctx.deliver(port, window);
+        let actor = workflow.node_mut(id).actor_mut();
+        if actor.prefire(ctx)? {
+            actor.fire(ctx)?;
+            report.firings += 1;
+            let (emissions, trigger) = ctx.take_emissions();
+            report.events_routed += fabric.route(id, emissions, trigger.as_ref(), now)?;
+            report.events_routed += fabric.route_expired(now)?;
+        }
+        if !actor.postfire(ctx)? {
+            done[id.0] = true;
+        }
+        Ok(true)
+    }
+}
+
+impl Director for DdfDirector {
+    fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
+        let fabric = Fabric::build(workflow)?;
+        let started = self.clock.now();
+        let mut report = RunReport::default();
+        let mut contexts: Vec<QueueContext> = workflow
+            .actor_ids()
+            .map(|id| QueueContext::new(workflow.node(id).signature.inputs.len()))
+            .collect();
+        let mut done = vec![false; workflow.actor_count()];
+
+        for id in workflow.actor_ids() {
+            let ctx = &mut contexts[id.0];
+            ctx.set_now(self.clock.now());
+            workflow.node_mut(id).actor_mut().initialize(ctx)?;
+            let (emissions, _) = ctx.take_emissions();
+            report.events_routed += fabric.route(id, emissions, None, self.clock.now())?;
+        }
+
+        let sources = workflow.sources();
+        loop {
+            let mut progress = false;
+            // Data-driven phase: fire every actor with ready windows.
+            for id in workflow.actor_ids() {
+                if workflow.node(id).is_source {
+                    continue;
+                }
+                while self.fire_once(workflow, &fabric, &mut contexts, &mut report, &mut done, id)? {
+                    progress = true;
+                    if report.firings > self.max_firings {
+                        return Err(Error::Director(format!(
+                            "DDF exceeded max_firings={} (runaway graph?)",
+                            self.max_firings
+                        )));
+                    }
+                }
+            }
+            if progress {
+                continue;
+            }
+            // Nothing data-ready: give each live source one firing.
+            for &id in &sources {
+                if done[id.0] {
+                    continue;
+                }
+                let now = self.clock.now();
+                let ctx = &mut contexts[id.0];
+                ctx.set_now(now);
+                let actor = workflow.node_mut(id).actor_mut();
+                if actor.prefire(ctx)? {
+                    actor.fire(ctx)?;
+                    report.firings += 1;
+                    let (emissions, _) = ctx.take_emissions();
+                    report.events_routed += fabric.route(id, emissions, None, now)?;
+                    progress = true;
+                }
+                if !actor.postfire(ctx)? {
+                    done[id.0] = true;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        // Closure cascade in topological-ish order: closing an actor's
+        // outputs flushes downstream partial windows, which may enable more
+        // firings before those actors close in turn.
+        let order = quasi_topological(workflow);
+        for id in order {
+            fabric.close_actor_outputs(id, self.clock.now());
+            let mut again = true;
+            while again {
+                again = false;
+                for target in workflow.actor_ids() {
+                    while self.fire_once(
+                        workflow,
+                        &fabric,
+                        &mut contexts,
+                        &mut report,
+                        &mut done,
+                        target,
+                    )? {
+                        again = true;
+                    }
+                }
+            }
+        }
+        for id in workflow.actor_ids() {
+            workflow.node_mut(id).actor_mut().wrapup()?;
+        }
+        report.elapsed = self.clock.now().since(started);
+        Ok(report)
+    }
+}
+
+/// Topological order where possible; actors on cycles appended afterwards
+/// in id order.
+pub fn quasi_topological(workflow: &Workflow) -> Vec<ActorId> {
+    let n = workflow.actor_count();
+    let mut indeg = vec![0usize; n];
+    for ch in workflow.channels() {
+        indeg[ch.to.actor.0] += 1;
+    }
+    let mut ready: std::collections::VecDeque<usize> =
+        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    while let Some(a) = ready.pop_front() {
+        if seen[a] {
+            continue;
+        }
+        seen[a] = true;
+        order.push(ActorId(a));
+        for ch in workflow.channels() {
+            if ch.from.actor.0 == a {
+                indeg[ch.to.actor.0] = indeg[ch.to.actor.0].saturating_sub(1);
+                if indeg[ch.to.actor.0] == 0 {
+                    ready.push_back(ch.to.actor.0);
+                }
+            }
+        }
+    }
+    for (i, seen_i) in seen.iter().enumerate() {
+        if !seen_i {
+            order.push(ActorId(i));
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, FireContext, IoSignature};
+    use crate::actors::{Collector, FnActor, Router, VecSource};
+    use crate::graph::WorkflowBuilder;
+    use crate::token::Token;
+    use crate::window::WindowSpec;
+
+    #[test]
+    fn runs_variable_rate_graph() {
+        // Router sends evens one way, odds the other — rates are dynamic,
+        // exactly what SDF cannot schedule and DDF exists for.
+        let evens = Collector::new();
+        let odds = Collector::new();
+        let mut b = WorkflowBuilder::new("ddf");
+        let s = b.add_actor("src", VecSource::new((1..=6).map(Token::Int).collect()));
+        let r = b.add_actor(
+            "route",
+            Router::new(&["even", "odd"], |t: &Token| {
+                Ok(Some((t.as_int()? % 2) as usize))
+            }),
+        );
+        let ke = b.add_actor("evens", evens.actor());
+        let ko = b.add_actor("odds", odds.actor());
+        b.connect(s, "out", r, "in").unwrap();
+        b.connect(r, "even", ke, "in").unwrap();
+        b.connect(r, "odd", ko, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let report = DdfDirector::new().run(&mut wf).unwrap();
+        assert_eq!(evens.len(), 3);
+        assert_eq!(odds.len(), 3);
+        assert!(report.firings >= 12);
+    }
+
+    #[test]
+    fn flushes_partial_windows_at_end() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("flush");
+        let s = b.add_actor("src", VecSource::new((0..3).map(Token::Int).collect()));
+        let agg = b.add_actor(
+            "agg",
+            FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+                emit(0, Token::Int(w.len() as i64));
+                Ok(())
+            }),
+        );
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(s, "out", agg, "in", WindowSpec::tuples(10, 10))
+            .unwrap();
+        b.connect(agg, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        DdfDirector::new().run(&mut wf).unwrap();
+        assert_eq!(c.tokens(), vec![Token::Int(3)], "short window flushed at close");
+    }
+
+    #[test]
+    fn max_firings_catches_runaway() {
+        // An actor that emits two tokens per input back to itself explodes.
+        struct Doubler;
+        impl Actor for Doubler {
+            fn signature(&self) -> IoSignature {
+                IoSignature::transform("in", "out")
+            }
+            fn fire(&mut self, ctx: &mut dyn FireContext) -> crate::error::Result<()> {
+                while let Some(w) = ctx.get(0) {
+                    for t in w.tokens() {
+                        ctx.emit(0, t.clone());
+                        ctx.emit(0, t.clone());
+                    }
+                }
+                Ok(())
+            }
+        }
+        let mut b = WorkflowBuilder::new("runaway");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+        let d = b.add_actor("boom", Doubler);
+        b.connect(s, "out", d, "in").unwrap();
+        b.connect(d, "out", d, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let err = DdfDirector::new().with_max_firings(100).run(&mut wf);
+        assert!(matches!(err, Err(Error::Director(_))));
+    }
+
+    #[test]
+    fn quasi_topo_handles_cycles() {
+        struct Pass;
+        impl Actor for Pass {
+            fn signature(&self) -> IoSignature {
+                IoSignature::transform("in", "out")
+            }
+            fn fire(&mut self, _ctx: &mut dyn FireContext) -> crate::error::Result<()> {
+                Ok(())
+            }
+        }
+        let mut b = WorkflowBuilder::new("cycle");
+        let a = b.add_actor("a", Pass);
+        let c = b.add_actor("c", Pass);
+        b.connect(a, "out", c, "in").unwrap();
+        b.connect(c, "out", a, "in").unwrap();
+        let wf = b.build().unwrap();
+        let order = quasi_topological(&wf);
+        assert_eq!(order.len(), 2);
+    }
+}

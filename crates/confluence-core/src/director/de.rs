@@ -1,0 +1,351 @@
+//! The DE (Discrete Event) director: global timestamp order.
+//!
+//! Keeps a global event queue ordered by timestamp; the virtual clock
+//! advances to each event's time and the receiving actor fires immediately.
+//! Source firings are scheduled at the sources' declared arrival times;
+//! channel deliveries may carry a fixed propagation delay. Window-formation
+//! deadlines are scheduled as first-class timer events — the paper's
+//! "window timeout events".
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::event::CwEvent;
+use crate::graph::{ActorId, PortRef, Workflow};
+use crate::time::{Clock, Micros, Timestamp, VirtualClock};
+
+use super::{Director, Fabric, QueueContext, RunReport};
+
+#[derive(Debug)]
+enum Agenda {
+    /// Fire a source actor.
+    SourceFire(ActorId),
+    /// Deliver an event to an input port.
+    Deliver(PortRef, CwEvent),
+    /// Evaluate window timeouts on an actor's receivers.
+    Poll(ActorId),
+}
+
+struct Entry {
+    time: Timestamp,
+    seq: u64,
+    agenda: Agenda,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Event-queue driven executor in virtual time.
+pub struct DeDirector {
+    clock: Arc<VirtualClock>,
+    /// Fixed propagation delay added to every channel delivery.
+    pub channel_delay: Micros,
+}
+
+impl Default for DeDirector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeDirector {
+    /// A director with zero channel delay on a fresh virtual clock.
+    pub fn new() -> Self {
+        DeDirector {
+            clock: Arc::new(VirtualClock::new()),
+            channel_delay: Micros::ZERO,
+        }
+    }
+
+    /// Add a fixed delay to every channel delivery.
+    pub fn with_channel_delay(mut self, d: Micros) -> Self {
+        self.channel_delay = d;
+        self
+    }
+
+    /// The final virtual time after a run.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+}
+
+impl Director for DeDirector {
+    fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
+        let fabric = Fabric::build(workflow)?;
+        let started = self.clock.now();
+        let mut report = RunReport::default();
+        let mut contexts: Vec<QueueContext> = workflow
+            .actor_ids()
+            .map(|id| QueueContext::new(workflow.node(id).signature.inputs.len()))
+            .collect();
+        // Snapshot of the routing table (avoids borrowing the workflow
+        // while an actor is mutably borrowed).
+        let routes: Vec<Vec<Vec<PortRef>>> = workflow
+            .actor_ids()
+            .map(|id| {
+                (0..workflow.node(id).signature.outputs.len())
+                    .map(|p| workflow.routes_from(id, p).to_vec())
+                    .collect()
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Reverse<Entry>>, time, agenda, seq: &mut u64| {
+            *seq += 1;
+            heap.push(Reverse(Entry {
+                time,
+                seq: *seq,
+                agenda,
+            }));
+        };
+
+        for id in workflow.actor_ids() {
+            let ctx = &mut contexts[id.0];
+            ctx.set_now(self.clock.now());
+            workflow.node_mut(id).actor_mut().initialize(ctx)?;
+            let (emissions, _) = ctx.take_emissions();
+            report.events_routed += fabric.route(id, emissions, None, self.clock.now())?;
+            if workflow.node(id).is_source {
+                let when = workflow
+                    .node(id)
+                    .peek_actor()
+                    .and_then(|a| a.next_arrival())
+                    .unwrap_or(Timestamp::ZERO);
+                push(&mut heap, when, Agenda::SourceFire(id), &mut seq);
+            }
+        }
+
+        // Fire `id` on every window currently in its inbox; emissions are
+        // scheduled as future deliveries.
+        macro_rules! drain_inbox {
+            ($id:expr) => {{
+                let id: ActorId = $id;
+                while let Some((port, window)) = fabric.inbox(id).try_pop() {
+                    let now = self.clock.now();
+                    let ctx = &mut contexts[id.0];
+                    ctx.set_now(now);
+                    ctx.deliver(port, window);
+                    let fired = {
+                        let actor = workflow.node_mut(id).actor_mut();
+                        if actor.prefire(ctx)? {
+                            actor.fire(ctx)?;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if fired {
+                        report.firings += 1;
+                        let (emissions, trigger) = ctx.take_emissions();
+                        if !emissions.is_empty() {
+                            let stamped: Vec<(usize, CwEvent)> = match trigger {
+                                Some(ref p) => {
+                                    let ports: Vec<usize> =
+                                        emissions.iter().map(|(p, _)| *p).collect();
+                                    let tokens: Vec<_> =
+                                        emissions.into_iter().map(|(_, t)| t).collect();
+                                    let evs = crate::event::WaveStamper::new(p.clone())
+                                        .stamp_all(tokens, now);
+                                    ports.into_iter().zip(evs).collect()
+                                }
+                                None => emissions
+                                    .into_iter()
+                                    .map(|(p, t)| (p, CwEvent::external(t, now)))
+                                    .collect(),
+                            };
+                            for (out_port, event) in stamped {
+                                for dest in &routes[id.0][out_port] {
+                                    report.events_routed += 1;
+                                    push(
+                                        &mut heap,
+                                        now.plus(self.channel_delay),
+                                        Agenda::Deliver(*dest, event.clone()),
+                                        &mut seq,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let _ = workflow.node_mut(id).actor_mut().postfire(ctx)?;
+                }
+            }};
+        }
+
+        while let Some(Reverse(entry)) = heap.pop() {
+            self.clock.advance_to(entry.time);
+            match entry.agenda {
+                Agenda::SourceFire(id) => {
+                    let now = self.clock.now();
+                    let ctx = &mut contexts[id.0];
+                    ctx.set_now(now);
+                    let fired = {
+                        let actor = workflow.node_mut(id).actor_mut();
+                        if actor.prefire(ctx)? {
+                            actor.fire(ctx)?;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if fired {
+                        report.firings += 1;
+                        let (emissions, _) = ctx.take_emissions();
+                        for (out_port, token) in emissions {
+                            let event = CwEvent::external(token, now);
+                            for dest in &routes[id.0][out_port] {
+                                report.events_routed += 1;
+                                push(
+                                    &mut heap,
+                                    now.plus(self.channel_delay),
+                                    Agenda::Deliver(*dest, event.clone()),
+                                    &mut seq,
+                                );
+                            }
+                        }
+                    }
+                    if workflow.node_mut(id).actor_mut().postfire(ctx)? {
+                        if let Some(next) = workflow
+                            .node(id)
+                            .peek_actor()
+                            .and_then(|a| a.next_arrival())
+                        {
+                            let when = next.max(now);
+                            push(&mut heap, when, Agenda::SourceFire(id), &mut seq);
+                        }
+                    }
+                }
+                Agenda::Deliver(dest, event) => {
+                    let now = self.clock.now();
+                    fabric.receivers(dest.actor)[dest.port].put(event, now)?;
+                    if let Some(deadline) =
+                        fabric.receivers(dest.actor)[dest.port].next_deadline()
+                    {
+                        push(&mut heap, deadline, Agenda::Poll(dest.actor), &mut seq);
+                    }
+                    drain_inbox!(dest.actor);
+                }
+                Agenda::Poll(id) => {
+                    let now = self.clock.now();
+                    for r in fabric.receivers(id) {
+                        r.poll(now);
+                    }
+                    drain_inbox!(id);
+                }
+            }
+        }
+
+        // End of stream: flush partial windows, upstream first.
+        for id in super::ddf::quasi_topological(workflow) {
+            fabric.close_actor_outputs(id, self.clock.now());
+            for target in workflow.actor_ids() {
+                drain_inbox!(target);
+            }
+        }
+        for id in workflow.actor_ids() {
+            workflow.node_mut(id).actor_mut().wrapup()?;
+        }
+        report.elapsed = self.clock.now().since(started);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actors::{Collector, LatencyProbe, TimedSource};
+    use crate::graph::WorkflowBuilder;
+    use crate::token::Token;
+    use crate::window::WindowSpec;
+
+    #[test]
+    fn processes_in_timestamp_order_in_virtual_time() {
+        let probe = LatencyProbe::new();
+        let mut b = WorkflowBuilder::new("de");
+        let s = b.add_actor(
+            "src",
+            TimedSource::new(vec![
+                (Timestamp(100), Token::Int(1)),
+                (Timestamp(300), Token::Int(2)),
+            ]),
+        );
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let mut d = DeDirector::new();
+        d.run(&mut wf).unwrap();
+        let samples = probe.samples();
+        assert_eq!(samples.len(), 2);
+        // Zero-delay channels: results appear at the event times.
+        assert_eq!(samples[0].at, Timestamp(100));
+        assert_eq!(samples[1].at, Timestamp(300));
+        assert_eq!(samples[0].latency, Micros::ZERO);
+        assert_eq!(d.now(), Timestamp(300));
+    }
+
+    #[test]
+    fn channel_delay_shows_in_latency() {
+        let probe = LatencyProbe::new();
+        let mut b = WorkflowBuilder::new("delay");
+        let s = b.add_actor(
+            "src",
+            TimedSource::new(vec![(Timestamp(100), Token::Int(1))]),
+        );
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        DeDirector::new()
+            .with_channel_delay(Micros(50))
+            .run(&mut wf)
+            .unwrap();
+        assert_eq!(probe.samples()[0].latency, Micros(50));
+    }
+
+    #[test]
+    fn time_windows_close_via_scheduled_timeouts() {
+        // Tumbling 100µs windows over events at 10 and 250: the window
+        // [0,100) closes when the event at 250 arrives, and [200,300)
+        // closes via the scheduled window-timeout event at 300.
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("timeouts");
+        let s = b.add_actor(
+            "src",
+            TimedSource::new(vec![
+                (Timestamp(10), Token::Int(1)),
+                (Timestamp(250), Token::Int(2)),
+            ]),
+        );
+        let agg = b.add_actor(
+            "agg",
+            crate::actors::FnActor::new(
+                crate::actor::IoSignature::transform("in", "out"),
+                |w, emit| {
+                    emit(0, Token::Int(w.len() as i64));
+                    Ok(())
+                },
+            ),
+        );
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(s, "out", agg, "in", WindowSpec::tumbling_time(Micros(100)))
+            .unwrap();
+        b.connect(agg, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        DeDirector::new().run(&mut wf).unwrap();
+        assert_eq!(c.tokens(), vec![Token::Int(1), Token::Int(1)]);
+    }
+}

@@ -1,0 +1,484 @@
+//! Directors: the models of computation that execute a workflow.
+//!
+//! The director — not the actors — defines the execution and communication
+//! model: whether communication is synchronous or buffered, what triggers a
+//! firing, and how actors are scheduled. The same [`Workflow`]
+//! specification runs unchanged under any director.
+//!
+//! This crate provides:
+//!
+//! * [`threaded::ThreadedDirector`] — the PNCWF continuous-workflow
+//!   director: one OS thread per actor, blocking windowed reads (the
+//!   paper's baseline, scheduling delegated to the operating system);
+//! * [`sdf::SdfDirector`] — synchronous dataflow with a pre-compiled
+//!   schedule from balance equations;
+//! * [`ddf::DdfDirector`] — dynamic dataflow, data-driven;
+//! * [`de::DeDirector`] — discrete-event, global timestamp order;
+//! * [`taxonomy`] — the machine-readable version of the paper's Table 1.
+//!
+//! The STAFiLOS scheduled CWF director lives in the `confluence-sched`
+//! crate and builds on the same [`Fabric`] plumbing defined here.
+
+pub mod composite;
+pub mod ddf;
+pub mod de;
+pub mod sdf;
+pub mod taxonomy;
+pub mod threaded;
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::actor::FireContext;
+use crate::error::Result;
+use crate::event::{CwEvent, WaveStamper};
+use crate::graph::{ActorId, PortRef, Workflow};
+use crate::receiver::{ActorInbox, PortReceiver};
+use crate::time::{Micros, Timestamp};
+use crate::token::Token;
+use crate::wave::WaveTag;
+use crate::window::Window;
+
+/// Outcome of a workflow run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Total actor firings.
+    pub firings: u64,
+    /// Total events routed along channels.
+    pub events_routed: u64,
+    /// Wall or virtual time the run spanned.
+    pub elapsed: Micros,
+}
+
+/// A model of computation executing a workflow to completion.
+pub trait Director {
+    /// Execute the workflow until quiescence (sources exhausted and all
+    /// derived events drained).
+    fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport>;
+}
+
+/// The communication fabric for one workflow execution: an inbox per actor
+/// and a windowed receiver per input port, plus the routing tables to move
+/// stamped events between them.
+pub struct Fabric {
+    inboxes: Vec<Arc<ActorInbox>>,
+    receivers: Vec<Vec<Arc<PortReceiver>>>,
+    routes: Vec<Vec<Vec<PortRef>>>,
+    /// Destination of each (actor, input port)'s expired-items queue.
+    expired_routes: Vec<Vec<Option<PortRef>>>,
+    has_expired_routes: bool,
+}
+
+impl Fabric {
+    /// Build receivers and inboxes for every actor of the workflow.
+    pub fn build(workflow: &Workflow) -> Result<Fabric> {
+        // Expired-queue feeders per destination port: a handler port stays
+        // open until every port whose expired events feed it has closed.
+        let mut expired_feeders: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for id in workflow.actor_ids() {
+            for port in 0..workflow.node(id).signature.inputs.len() {
+                if let Some(dest) = workflow.expired_route(id, port) {
+                    *expired_feeders
+                        .entry((dest.actor.index(), dest.port))
+                        .or_default() += 1;
+                }
+            }
+        }
+        let mut inboxes = Vec::with_capacity(workflow.actor_count());
+        let mut receivers = Vec::with_capacity(workflow.actor_count());
+        for id in workflow.actor_ids() {
+            let node = workflow.node(id);
+            let n_inputs = node.signature.inputs.len();
+            let inbox = ActorInbox::new(n_inputs);
+            let mut ports = Vec::with_capacity(n_inputs);
+            for port in 0..n_inputs {
+                let channels = workflow.in_degree(id, port);
+                let feeders = expired_feeders
+                    .get(&(id.index(), port))
+                    .copied()
+                    .unwrap_or(0);
+                let upstreams = channels + feeders;
+                let receiver = Arc::new(PortReceiver::new(
+                    workflow.window_spec(id, port).clone(),
+                    inbox.clone(),
+                    port,
+                    upstreams.max(1),
+                )?);
+                if upstreams == 0 {
+                    // Nothing will ever feed this port: close it now so the
+                    // thread-based director's blocking reads can terminate.
+                    receiver.upstream_closed(Timestamp::ZERO);
+                }
+                ports.push(receiver);
+            }
+            inboxes.push(inbox);
+            receivers.push(ports);
+        }
+        let routes = workflow
+            .actor_ids()
+            .map(|id| {
+                (0..workflow.node(id).signature.outputs.len())
+                    .map(|p| workflow.routes_from(id, p).to_vec())
+                    .collect()
+            })
+            .collect();
+        let expired_routes: Vec<Vec<Option<PortRef>>> = workflow
+            .actor_ids()
+            .map(|id| {
+                (0..workflow.node(id).signature.inputs.len())
+                    .map(|p| workflow.expired_route(id, p))
+                    .collect()
+            })
+            .collect();
+        let has_expired_routes = workflow.has_expired_routes();
+        Ok(Fabric {
+            inboxes,
+            receivers,
+            routes,
+            expired_routes,
+            has_expired_routes,
+        })
+    }
+
+    /// Deliver every port's expired events to its handler activity, if one
+    /// was attached (the paper's expired-items queues). Returns how many
+    /// events were routed. Cheap no-op when no handlers exist.
+    pub fn route_expired(&self, now: Timestamp) -> Result<u64> {
+        if !self.has_expired_routes {
+            return Ok(0);
+        }
+        let mut routed = 0u64;
+        for (a, ports) in self.expired_routes.iter().enumerate() {
+            for (p, dest) in ports.iter().enumerate() {
+                let Some(dest) = dest else { continue };
+                let events = self.receivers[a][p].drain_expired();
+                for event in events {
+                    self.receivers[dest.actor.index()][dest.port].put(event, now)?;
+                    routed += 1;
+                }
+            }
+        }
+        Ok(routed)
+    }
+
+    /// The ready-window inbox of an actor.
+    pub fn inbox(&self, id: ActorId) -> &Arc<ActorInbox> {
+        &self.inboxes[id.0]
+    }
+
+    /// The windowed receivers on an actor's input ports.
+    pub fn receivers(&self, id: ActorId) -> &[Arc<PortReceiver>] {
+        &self.receivers[id.0]
+    }
+
+    /// Stamp a firing's emissions and deliver them downstream.
+    ///
+    /// `parent` is the wave of the window that triggered the firing;
+    /// `None` means the emissions are external events initiating new waves
+    /// (source actors). Returns the number of channel deliveries.
+    pub fn route(
+        &self,
+        from: ActorId,
+        emissions: Vec<(usize, Token)>,
+        parent: Option<&WaveTag>,
+        now: Timestamp,
+    ) -> Result<u64> {
+        if emissions.is_empty() {
+            return Ok(0);
+        }
+        let events: Vec<(usize, CwEvent)> = match parent {
+            None => emissions
+                .into_iter()
+                .map(|(port, token)| (port, CwEvent::external(token, now)))
+                .collect(),
+            Some(parent) => {
+                let ports: Vec<usize> = emissions.iter().map(|(p, _)| *p).collect();
+                let tokens: Vec<Token> = emissions.into_iter().map(|(_, t)| t).collect();
+                let stamped = WaveStamper::new(parent.clone()).stamp_all(tokens, now);
+                ports.into_iter().zip(stamped).collect()
+            }
+        };
+        let mut delivered = 0u64;
+        for (port, event) in events {
+            for dest in &self.routes[from.0][port] {
+                self.receivers[dest.actor.0][dest.port].put(event.clone(), now)?;
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Propagate "actor finished" along its output channels: each
+    /// downstream receiver loses one upstream; the last closure flushes
+    /// partial windows. Fully-closed ports with expired-items handlers
+    /// hand their final expired events over and release the handler.
+    pub fn close_actor_outputs(&self, from: ActorId, now: Timestamp) {
+        let mut fully_closed: Vec<PortRef> = Vec::new();
+        for port_routes in &self.routes[from.0] {
+            for dest in port_routes {
+                if self.receivers[dest.actor.0][dest.port].upstream_closed(now) {
+                    fully_closed.push(*dest);
+                }
+            }
+        }
+        // Cascade expired-queue finalization (a handler port may itself
+        // have an expired handler).
+        while let Some(port) = fully_closed.pop() {
+            let Some(dest) = self.expired_routes[port.actor.0][port.port] else {
+                continue;
+            };
+            let receiver = &self.receivers[port.actor.0][port.port];
+            for event in receiver.drain_expired() {
+                let _ = self.receivers[dest.actor.0][dest.port].put(event, now);
+            }
+            if self.receivers[dest.actor.0][dest.port].upstream_closed(now) {
+                fully_closed.push(dest);
+            }
+        }
+    }
+
+    /// Evaluate window timeouts on every receiver at director time `now`.
+    /// Returns the number of windows produced.
+    pub fn poll_all(&self, now: Timestamp) -> usize {
+        self.receivers
+            .iter()
+            .flatten()
+            .map(|r| r.poll(now))
+            .sum()
+    }
+
+    /// The earliest pending window-formation deadline across the workflow.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.receivers
+            .iter()
+            .flatten()
+            .filter_map(|r| r.next_deadline())
+            .min()
+    }
+
+    /// Total events buffered in receivers plus windows waiting in inboxes.
+    pub fn backlog(&self) -> usize {
+        let buffered: usize = self
+            .receivers
+            .iter()
+            .flatten()
+            .map(|r| r.pending_events())
+            .sum();
+        let ready: usize = self.inboxes.iter().map(|i| i.len()).sum();
+        buffered + ready
+    }
+}
+
+/// The standard [`FireContext`] used by cooperative directors: windows are
+/// delivered before the firing; emissions are collected for the director to
+/// stamp and route afterwards.
+#[derive(Debug)]
+pub struct QueueContext {
+    now: Timestamp,
+    queues: Vec<VecDeque<Window>>,
+    /// Emissions collected during the firing.
+    pub emitted: Vec<(usize, Token)>,
+    /// Wave of the last window the actor consumed (the firing's lineage
+    /// parent).
+    pub trigger: Option<WaveTag>,
+    /// Events consumed during the firing (for rate statistics).
+    pub consumed_events: u64,
+}
+
+impl QueueContext {
+    /// A context with `input_ports` delivery queues.
+    pub fn new(input_ports: usize) -> Self {
+        QueueContext {
+            now: Timestamp::ZERO,
+            queues: (0..input_ports).map(|_| VecDeque::new()).collect(),
+            emitted: Vec::new(),
+            trigger: None,
+            consumed_events: 0,
+        }
+    }
+
+    /// Set the director time reported to the actor.
+    pub fn set_now(&mut self, now: Timestamp) {
+        self.now = now;
+    }
+
+    /// Deliver a window to an input port ahead of a firing.
+    pub fn deliver(&mut self, port: usize, window: Window) {
+        self.queues[port].push_back(window);
+    }
+
+    /// Whether any delivered windows remain unconsumed.
+    pub fn has_pending(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Take the collected emissions, resetting for the next firing.
+    pub fn take_emissions(&mut self) -> (Vec<(usize, Token)>, Option<WaveTag>) {
+        self.consumed_events = 0;
+        (std::mem::take(&mut self.emitted), self.trigger.take())
+    }
+}
+
+impl FireContext for QueueContext {
+    fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn get(&mut self, port: usize) -> Option<Window> {
+        let w = self.queues.get_mut(port)?.pop_front()?;
+        if let Some(tag) = w.trigger_wave() {
+            self.trigger = Some(tag.clone());
+        }
+        self.consumed_events += w.len() as u64;
+        Some(w)
+    }
+
+    fn get_any(&mut self) -> Option<(usize, Window)> {
+        let port = self.queues.iter().position(|q| !q.is_empty())?;
+        self.get(port).map(|w| (port, w))
+    }
+
+    fn emit(&mut self, port: usize, token: Token) {
+        self.emitted.push((port, token));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, IoSignature};
+    use crate::actors::{Collector, VecSource};
+    use crate::graph::WorkflowBuilder;
+    use crate::window::WindowSpec;
+
+    struct Double;
+    impl Actor for Double {
+        fn signature(&self) -> IoSignature {
+            IoSignature::transform("in", "out")
+        }
+        fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+            while let Some(w) = ctx.get(0) {
+                for t in w.tokens() {
+                    ctx.emit(0, Token::Int(t.as_int()? * 2));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn chain() -> (Workflow, Collector) {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("chain");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1), Token::Int(2)]));
+        let d = b.add_actor("double", Double);
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(s, "out", d, "in", WindowSpec::each_event())
+            .unwrap();
+        b.connect_windowed(d, "out", k, "in", WindowSpec::each_event())
+            .unwrap();
+        (b.build().unwrap(), c)
+    }
+
+    #[test]
+    fn fabric_builds_per_port_receivers() {
+        let (wf, _c) = chain();
+        let fabric = Fabric::build(&wf).unwrap();
+        let d = wf.find("double").unwrap();
+        assert_eq!(fabric.receivers(d).len(), 1);
+        assert!(fabric.inbox(d).is_empty());
+        assert_eq!(fabric.backlog(), 0);
+        assert_eq!(fabric.next_deadline(), None);
+    }
+
+    #[test]
+    fn route_stamps_external_events_for_sources() {
+        let (wf, _c) = chain();
+        let fabric = Fabric::build(&wf).unwrap();
+        let s = wf.find("src").unwrap();
+        let d = wf.find("double").unwrap();
+        let n = fabric
+            .route(s, vec![(0, Token::Int(7))], None, Timestamp(50))
+            .unwrap();
+        assert_eq!(n, 1);
+        let (port, w) = fabric.inbox(d).try_pop().unwrap();
+        assert_eq!(port, 0);
+        let ev = &w.events[0];
+        assert_eq!(ev.origin(), Timestamp(50));
+        assert_eq!(ev.wave.depth(), 0);
+    }
+
+    #[test]
+    fn route_stamps_derived_events_with_wave_children() {
+        let (wf, _c) = chain();
+        let fabric = Fabric::build(&wf).unwrap();
+        let d = wf.find("double").unwrap();
+        let k = wf.find("sink").unwrap();
+        let parent = WaveTag::external(Timestamp(10));
+        fabric
+            .route(
+                d,
+                vec![(0, Token::Int(1)), (0, Token::Int(2))],
+                Some(&parent),
+                Timestamp(20),
+            )
+            .unwrap();
+        let (_, w1) = fabric.inbox(k).try_pop().unwrap();
+        let (_, w2) = fabric.inbox(k).try_pop().unwrap();
+        assert_eq!(w1.events[0].wave.to_string(), "t10.1");
+        assert_eq!(w2.events[0].wave.to_string(), "t10.2!");
+        assert_eq!(w1.events[0].origin(), Timestamp(10), "origin survives");
+    }
+
+    #[test]
+    fn close_propagates_and_flushes() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("flush");
+        let s = b.add_actor("src", VecSource::new(vec![]));
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(s, "out", k, "in", WindowSpec::tuples(10, 10))
+            .unwrap();
+        let wf = b.build().unwrap();
+        let fabric = Fabric::build(&wf).unwrap();
+        let s = wf.find("src").unwrap();
+        let k = wf.find("sink").unwrap();
+        fabric
+            .route(s, vec![(0, Token::Int(1))], None, Timestamp(1))
+            .unwrap();
+        assert!(fabric.inbox(k).is_empty(), "partial window not formed yet");
+        fabric.close_actor_outputs(s, Timestamp(2));
+        let (_, w) = fabric.inbox(k).try_pop().expect("flush on close");
+        assert!(w.timed_out);
+        assert!(fabric.inbox(k).all_ports_closed());
+    }
+
+    #[test]
+    fn queue_context_tracks_trigger_and_consumption() {
+        let mut ctx = QueueContext::new(2);
+        ctx.set_now(Timestamp(5));
+        assert_eq!(ctx.now(), Timestamp(5));
+        assert!(!ctx.has_pending());
+        let ev = CwEvent::external(Token::Int(1), Timestamp(3));
+        let wave = ev.wave.clone();
+        ctx.deliver(
+            1,
+            Window {
+                group: Token::Unit,
+                events: vec![ev],
+                formed_at: Timestamp(3),
+                timed_out: false,
+            },
+        );
+        assert!(ctx.has_pending());
+        let (port, w) = ctx.get_any().unwrap();
+        assert_eq!((port, w.len()), (1, 1));
+        assert_eq!(ctx.consumed_events, 1);
+        ctx.emit(0, Token::Int(9));
+        let (emissions, trigger) = ctx.take_emissions();
+        assert_eq!(emissions, vec![(0, Token::Int(9))]);
+        assert_eq!(trigger, Some(wave));
+        assert_eq!(ctx.consumed_events, 0, "reset after take");
+        assert!(ctx.get(0).is_none());
+        assert!(ctx.get(9).is_none(), "out-of-range port is None");
+    }
+}

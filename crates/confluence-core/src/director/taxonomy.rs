@@ -1,0 +1,329 @@
+//! Machine-readable version of the paper's Table 1: the taxonomy of
+//! directors found in Kepler / PtolemyII plus the continuous-workflow
+//! directors (PNCWF and the STAFiLOS SCWF).
+//!
+//! Each entry records how actors interact, what drives computation, how
+//! firing is scheduled, what notion of time is supported, and whether the
+//! model is QoS-aware — the five columns of Table 1 — plus whether this
+//! repository implements the director.
+
+/// How actors interact under the model of computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interaction {
+    /// Topology-driven push along channels.
+    TopologyPush,
+    /// Central event queue.
+    EventQueue,
+    /// Topology-driven, mixed push/pull.
+    TopologyPushPull,
+    /// Synchronous push.
+    SynchronousPush,
+    /// Priority-queue mediated push.
+    PriorityQueue,
+    /// Push with windowed receivers.
+    PushWindowed,
+}
+
+/// What drives computation forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputationDriver {
+    /// A schedule compiled before execution.
+    PreCompiled,
+    /// Availability of data.
+    DataDriven,
+    /// Event occurrence.
+    EventDriven,
+    /// Priorities.
+    PriorityBased,
+    /// Data and time jointly.
+    DataTimeDriven,
+    /// Data plus window formation.
+    DataWindowedDriven,
+}
+
+/// How actor firing is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Fixed pre-compiled order.
+    PreCompiled,
+    /// Iterative, consumption-based.
+    IterativeConsumption,
+    /// Delegated to OS threads.
+    ThreadOs,
+    /// Event timestamp order.
+    EventOrder,
+    /// Several strategies available.
+    Multiple,
+    /// Pre-emptive priority-based.
+    PreemptivePriority,
+    /// Time-based (timed multitasking).
+    TimeBased,
+    /// Pluggable policy (the STAFiLOS framework).
+    Pluggable,
+}
+
+/// Notion of time supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeSupport {
+    /// No time semantics.
+    None,
+    /// A global clock.
+    Global,
+    /// Global or per-actor local clocks.
+    GlobalOrLocal,
+    /// Global tick (synchronous-reactive).
+    GlobalTick,
+    /// Local clocks only.
+    Local,
+}
+
+/// QoS awareness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Qos {
+    /// None.
+    None,
+    /// Static priorities.
+    Priority,
+    /// Pluggable QoS-driven scheduling policies.
+    Pluggable,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectorTraits {
+    /// Short name (SDF, DDF, PN, ..., PNCWF, SCWF).
+    pub name: &'static str,
+    /// Full name.
+    pub full_name: &'static str,
+    /// Actor interaction style.
+    pub interaction: Interaction,
+    /// Computation driver.
+    pub driver: ComputationDriver,
+    /// Scheduling approach.
+    pub scheduling: Scheduling,
+    /// Time support.
+    pub time: TimeSupport,
+    /// QoS support.
+    pub qos: Qos,
+    /// Whether this repository implements the director.
+    pub implemented: bool,
+}
+
+/// The full taxonomy: Kepler's directors (first group), PtolemyII's
+/// (second group), and the continuous-workflow directors.
+pub fn taxonomy() -> Vec<DirectorTraits> {
+    use ComputationDriver as D;
+    use Interaction as I;
+    use Qos as Q;
+    use Scheduling as S;
+    use TimeSupport as T;
+    vec![
+        DirectorTraits {
+            name: "SDF",
+            full_name: "Synchronous Dataflow",
+            interaction: I::TopologyPush,
+            driver: D::PreCompiled,
+            scheduling: S::PreCompiled,
+            time: T::None,
+            qos: Q::None,
+            implemented: true,
+        },
+        DirectorTraits {
+            name: "DDF",
+            full_name: "Dynamic Dataflow",
+            interaction: I::TopologyPush,
+            driver: D::DataDriven,
+            scheduling: S::IterativeConsumption,
+            time: T::None,
+            qos: Q::None,
+            implemented: true,
+        },
+        DirectorTraits {
+            name: "PN",
+            full_name: "Process Networks",
+            interaction: I::TopologyPush,
+            driver: D::DataDriven,
+            scheduling: S::ThreadOs,
+            time: T::None,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "DE",
+            full_name: "Discrete Event",
+            interaction: I::EventQueue,
+            driver: D::EventDriven,
+            scheduling: S::EventOrder,
+            time: T::Global,
+            qos: Q::None,
+            implemented: true,
+        },
+        DirectorTraits {
+            name: "CN",
+            full_name: "Component Interaction (client/server)",
+            interaction: I::TopologyPushPull,
+            driver: D::PreCompiled,
+            scheduling: S::PreCompiled,
+            time: T::Global,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "CI",
+            full_name: "Push/Pull Component Interaction",
+            interaction: I::TopologyPushPull,
+            driver: D::DataDriven,
+            scheduling: S::ThreadOs,
+            time: T::None,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "CSP",
+            full_name: "Communicating Sequential Processes",
+            interaction: I::SynchronousPush,
+            driver: D::DataDriven,
+            scheduling: S::ThreadOs,
+            time: T::Global,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "DT",
+            full_name: "Discrete Time",
+            interaction: I::TopologyPush,
+            driver: D::PreCompiled,
+            scheduling: S::PreCompiled,
+            time: T::GlobalOrLocal,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "HDF",
+            full_name: "Heterochronous Dataflow",
+            interaction: I::TopologyPush,
+            driver: D::DataDriven,
+            scheduling: S::Multiple,
+            time: T::None,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "SR",
+            full_name: "Synchronous Reactive",
+            interaction: I::SynchronousPush,
+            driver: D::PreCompiled,
+            scheduling: S::PreCompiled,
+            time: T::GlobalTick,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "TM",
+            full_name: "Timed Multitasking",
+            interaction: I::PriorityQueue,
+            driver: D::PriorityBased,
+            scheduling: S::PreemptivePriority,
+            time: T::None,
+            qos: Q::Priority,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "TPN",
+            full_name: "Timed Process Networks",
+            interaction: I::TopologyPush,
+            driver: D::DataTimeDriven,
+            scheduling: S::ThreadOs,
+            time: T::Global,
+            qos: Q::None,
+            implemented: false,
+        },
+        DirectorTraits {
+            name: "PNCWF",
+            full_name: "Continuous Workflow (thread-based)",
+            interaction: I::PushWindowed,
+            driver: D::DataWindowedDriven,
+            scheduling: S::ThreadOs,
+            time: T::Local,
+            qos: Q::None,
+            implemented: true,
+        },
+        DirectorTraits {
+            name: "SCWF",
+            full_name: "Scheduled Continuous Workflow (STAFiLOS)",
+            interaction: I::PushWindowed,
+            driver: D::DataWindowedDriven,
+            scheduling: S::Pluggable,
+            time: T::Local,
+            qos: Q::Pluggable,
+            implemented: true,
+        },
+    ]
+}
+
+/// Render the taxonomy as an aligned text table (the `experiments --table1`
+/// output).
+pub fn render_table() -> String {
+    let rows = taxonomy();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<18} {:<22} {:<22} {:<12} {:<10} {}\n",
+        "Name", "Interaction", "Computation Driver", "Scheduling", "Time", "QoS", "Implemented"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<18} {:<22} {:<22} {:<12} {:<10} {}\n",
+            r.name,
+            format!("{:?}", r.interaction),
+            format!("{:?}", r.driver),
+            format!("{:?}", r.scheduling),
+            format!("{:?}", r.time),
+            format!("{:?}", r.qos),
+            if r.implemented { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_covers_table_1_plus_cwf_directors() {
+        let t = taxonomy();
+        assert_eq!(t.len(), 14, "12 Kepler/Ptolemy rows + PNCWF + SCWF");
+        for name in ["SDF", "DDF", "PN", "DE", "CN", "CI", "CSP", "DT", "HDF", "SR", "TM", "TPN", "PNCWF", "SCWF"] {
+            assert!(t.iter().any(|r| r.name == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn implemented_set_matches_this_repository() {
+        let implemented: Vec<&str> = taxonomy()
+            .into_iter()
+            .filter(|r| r.implemented)
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(implemented, vec!["SDF", "DDF", "DE", "PNCWF", "SCWF"]);
+    }
+
+    #[test]
+    fn only_cwf_directors_are_windowed_and_scwf_is_qos_pluggable() {
+        for r in taxonomy() {
+            let windowed = r.interaction == Interaction::PushWindowed;
+            assert_eq!(windowed, r.name == "PNCWF" || r.name == "SCWF");
+            if r.name == "SCWF" {
+                assert_eq!(r.qos, Qos::Pluggable);
+                assert_eq!(r.scheduling, Scheduling::Pluggable);
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_a_row_per_director() {
+        let s = render_table();
+        assert_eq!(s.lines().count(), 15); // header + 14 rows
+        assert!(s.contains("PNCWF"));
+    }
+}

@@ -1,0 +1,390 @@
+//! The PNCWF thread-based continuous-workflow director.
+//!
+//! Based on Kepler's PN/CN/DE directors: every actor is wrapped in its own
+//! OS thread, allowing actors to run in parallel and blocking them whenever
+//! there is no data to consume. Resource allocation among the threads is
+//! handled directly by the operating system — which, as the paper's
+//! evaluation shows, leaves no margin for QoS-based optimization (that is
+//! STAFiLOS's job, in `confluence-sched`).
+//!
+//! The timeout of timed windows is handled by the waiting actor thread: it
+//! waits on its inbox only until the earliest window-formation deadline of
+//! its receivers, then forces the receivers to produce.
+
+use std::sync::Arc;
+use std::thread;
+
+use crate::actor::Actor;
+use crate::error::{Error, Result};
+use crate::graph::{ActorId, Workflow};
+use crate::receiver::InboxPop;
+use crate::time::{Clock, SharedClock, Timestamp, WallClock};
+
+use super::{Director, Fabric, QueueContext, RunReport};
+
+/// One OS thread per actor; OS scheduling; blocking windowed reads.
+pub struct ThreadedDirector {
+    clock: SharedClock,
+}
+
+impl Default for ThreadedDirector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadedDirector {
+    /// A director on the wall clock (the normal mode).
+    pub fn new() -> Self {
+        ThreadedDirector {
+            clock: Arc::new(WallClock::new()),
+        }
+    }
+
+    /// A director on a caller-supplied clock (tests).
+    pub fn with_clock(clock: SharedClock) -> Self {
+        ThreadedDirector { clock }
+    }
+}
+
+struct ControllerOutcome {
+    actor: Box<dyn Actor>,
+    firings: u64,
+    routed: u64,
+    error: Option<Error>,
+}
+
+impl Director for ThreadedDirector {
+    fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
+        let fabric = Arc::new(Fabric::build(workflow)?);
+        let started = self.clock.now();
+        let mut handles = Vec::with_capacity(workflow.actor_count());
+        for id in workflow.actor_ids() {
+            let node = workflow.node_mut(id);
+            let actor = node.take_actor();
+            let name = node.name.clone();
+            let is_source = node.is_source;
+            let n_inputs = node.signature.inputs.len();
+            let fabric = fabric.clone();
+            let clock = self.clock.clone();
+            let handle = thread::Builder::new()
+                .name(format!("cwf-{name}"))
+                .spawn(move || controller(id, actor, is_source, n_inputs, &fabric, &*clock))
+                .map_err(|e| Error::Director(format!("failed to spawn actor thread: {e}")))?;
+            handles.push((id, handle));
+        }
+
+        let mut report = RunReport::default();
+        let mut first_error = None;
+        for (id, handle) in handles {
+            let outcome = handle
+                .join()
+                .map_err(|_| Error::Director(format!("actor thread {id} panicked")))?;
+            report.firings += outcome.firings;
+            report.events_routed += outcome.routed;
+            if first_error.is_none() {
+                first_error = outcome.error;
+            }
+            workflow.node_mut(id).return_actor(outcome.actor);
+        }
+        report.elapsed = self.clock.now().since(started);
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
+/// The per-actor thread body: transitions the actor through its iteration
+/// phases, blocking on the inbox between firings.
+fn controller(
+    id: ActorId,
+    mut actor: Box<dyn Actor>,
+    is_source: bool,
+    n_inputs: usize,
+    fabric: &Fabric,
+    clock: &dyn Clock,
+) -> ControllerOutcome {
+    let mut ctx = QueueContext::new(n_inputs);
+    let mut firings = 0u64;
+    let mut routed = 0u64;
+
+    let result = (|| -> Result<()> {
+        ctx.set_now(clock.now());
+        actor.initialize(&mut ctx)?;
+        let (init_emissions, _) = ctx.take_emissions();
+        routed += fabric.route(id, init_emissions, None, clock.now())?;
+
+        if is_source {
+            loop {
+                // Pace by the source's timetable (wall-clock realization of
+                // event arrival times).
+                if let Some(arrival) = actor.next_arrival() {
+                    let now = clock.now();
+                    if arrival > now {
+                        thread::sleep(arrival.since(now).to_std());
+                    }
+                }
+                ctx.set_now(clock.now());
+                let mut emitted_any = false;
+                if actor.prefire(&mut ctx)? {
+                    actor.fire(&mut ctx)?;
+                    let (emissions, _) = ctx.take_emissions();
+                    emitted_any = !emissions.is_empty();
+                    firings += 1;
+                    routed += fabric.route(id, emissions, None, clock.now())?;
+                    routed += fabric.route_expired(clock.now())?;
+                }
+                if !actor.postfire(&mut ctx)? {
+                    break;
+                }
+                if !emitted_any && actor.next_arrival() == Some(Timestamp::ZERO) {
+                    // Always-ready source with nothing to say (e.g. an idle
+                    // push source): back off instead of spinning.
+                    thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        } else {
+            let inbox = fabric.inbox(id).clone();
+            loop {
+                let now = clock.now();
+                let timeout = fabric
+                    .receivers(id)
+                    .iter()
+                    .filter_map(|r| r.next_deadline())
+                    .min()
+                    .map(|deadline| deadline.since(now).to_std());
+                match inbox.pop_blocking(timeout) {
+                    InboxPop::Window(port, window) => {
+                        ctx.set_now(clock.now());
+                        ctx.deliver(port, window);
+                        if actor.prefire(&mut ctx)? {
+                            actor.fire(&mut ctx)?;
+                            let (emissions, trigger) = ctx.take_emissions();
+                            firings += 1;
+                            routed +=
+                                fabric.route(id, emissions, trigger.as_ref(), clock.now())?;
+                            routed += fabric.route_expired(clock.now())?;
+                        }
+                        if !actor.postfire(&mut ctx)? {
+                            break;
+                        }
+                    }
+                    InboxPop::TimedOut => {
+                        // A window-formation deadline passed: force the
+                        // receivers to evaluate their window semantics.
+                        let now = clock.now();
+                        for r in fabric.receivers(id) {
+                            r.poll(now);
+                        }
+                        let _ = fabric.route_expired(now)?;
+                    }
+                    InboxPop::Closed => break,
+                }
+            }
+        }
+        actor.wrapup()
+    })();
+
+    fabric.close_actor_outputs(id, clock.now());
+    ControllerOutcome {
+        actor,
+        firings,
+        routed,
+        error: result.err(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{FireContext, IoSignature};
+    use crate::actors::{Collector, LatencyProbe, PushSource, TimedSource, VecSource};
+    use crate::graph::WorkflowBuilder;
+    use crate::time::Micros;
+    use crate::token::Token;
+    use crate::window::{GroupBy, WindowSpec};
+
+    struct AddOne;
+    impl Actor for AddOne {
+        fn signature(&self) -> IoSignature {
+            IoSignature::transform("in", "out")
+        }
+        fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+            while let Some(w) = ctx.get(0) {
+                for t in w.tokens() {
+                    ctx.emit(0, Token::Int(t.as_int()? + 1));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn runs_linear_pipeline_to_completion() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("pipeline");
+        let s = b.add_actor(
+            "src",
+            VecSource::new((0..10).map(Token::Int).collect()),
+        );
+        let a = b.add_actor("inc", AddOne);
+        let k = b.add_actor("sink", c.actor());
+        b.connect(s, "out", a, "in").unwrap();
+        b.connect(a, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let report = ThreadedDirector::new().run(&mut wf).unwrap();
+        assert_eq!(c.tokens(), (1..=10).map(Token::Int).collect::<Vec<_>>());
+        assert!(report.firings >= 11);
+        assert_eq!(report.events_routed, 20);
+    }
+
+    #[test]
+    fn fan_out_and_merge() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("diamond");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1), Token::Int(2)]));
+        let a1 = b.add_actor("a1", AddOne);
+        let a2 = b.add_actor("a2", AddOne);
+        let u = b.add_actor("union", crate::actors::Union::new(2));
+        let k = b.add_actor("sink", c.actor());
+        b.connect(s, "out", a1, "in").unwrap();
+        b.connect(s, "out", a2, "in").unwrap();
+        b.connect(a1, "out", u, "in0").unwrap();
+        b.connect(a2, "out", u, "in1").unwrap();
+        b.connect(u, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        ThreadedDirector::new().run(&mut wf).unwrap();
+        let mut got: Vec<i64> = c.tokens().iter().map(|t| t.as_int().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![2, 2, 3, 3], "both branches see both tokens");
+    }
+
+    #[test]
+    fn grouped_sliding_windows_under_threads() {
+        // Stopped-car shape: {Size: 2, Step: 1, Group-by: carid}.
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("windows");
+        let reports: Vec<Token> = vec![(1, 10), (2, 30), (1, 11), (2, 31), (1, 12)]
+            .into_iter()
+            .map(|(car, pos)| Token::record().field("carid", car).field("pos", pos).build())
+            .collect();
+        let s = b.add_actor("src", VecSource::new(reports));
+        let pairs = b.add_actor(
+            "pairs",
+            crate::actors::FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+                if w.len() < 2 {
+                    // End-of-stream flush produces short windows; a real
+                    // pairwise operator ignores them.
+                    return Ok(());
+                }
+                let first = w.events.first().unwrap().token.int_field("pos")?;
+                let last = w.events.last().unwrap().token.int_field("pos")?;
+                emit(0, Token::Int(last - first));
+                Ok(())
+            }),
+        );
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(
+            s,
+            "out",
+            pairs,
+            "in",
+            WindowSpec::tuples(2, 1).group_by(GroupBy::fields(&["carid"])),
+        )
+        .unwrap();
+        b.connect(pairs, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        ThreadedDirector::new().run(&mut wf).unwrap();
+        let mut got: Vec<i64> = c.tokens().iter().map(|t| t.as_int().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![1, 1, 1], "car1: 10→11, 11→12; car2: 30→31");
+    }
+
+    #[test]
+    fn push_source_end_to_end() {
+        let c = Collector::new();
+        let (src, handle) = PushSource::new();
+        let mut b = WorkflowBuilder::new("push");
+        let s = b.add_actor("src", src);
+        let k = b.add_actor("sink", c.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let producer = std::thread::spawn(move || {
+            for i in 0..5 {
+                handle.push(Token::Int(i));
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // handle drops here, ending the stream
+        });
+        ThreadedDirector::new().run(&mut wf).unwrap();
+        producer.join().unwrap();
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn timed_window_timeout_fires_without_closing_event() {
+        // A lone event in a 20ms tumbling window must come out via the
+        // timeout path (no later event ever closes the window).
+        let probe = LatencyProbe::new();
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("timeout");
+        let s = b.add_actor(
+            "src",
+            TimedSource::new(vec![(Timestamp(0), Token::Int(1))]),
+        );
+        let agg = b.add_actor(
+            "agg",
+            crate::actors::FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+                emit(0, Token::Int(w.len() as i64));
+                Ok(())
+            }),
+        );
+        let k = b.add_actor("sink", c.actor());
+        let _ = probe;
+        b.connect_windowed(
+            s,
+            "out",
+            agg,
+            "in",
+            WindowSpec::tumbling_time(Micros::from_millis(20)),
+        )
+        .unwrap();
+        b.connect(agg, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        ThreadedDirector::new().run(&mut wf).unwrap();
+        assert_eq!(c.tokens(), vec![Token::Int(1)]);
+    }
+
+    #[test]
+    fn actor_error_is_reported() {
+        struct Boom;
+        impl Actor for Boom {
+            fn signature(&self) -> IoSignature {
+                IoSignature::sink("in")
+            }
+            fn fire(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+                Err(Error::actor("boom", "fire", "deliberate"))
+            }
+        }
+        let mut b = WorkflowBuilder::new("err");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+        let k = b.add_actor("boom", Boom);
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let err = ThreadedDirector::new().run(&mut wf).unwrap_err();
+        assert!(matches!(err, Error::Actor { .. }));
+    }
+
+    #[test]
+    fn latency_probe_measures_under_wall_clock() {
+        let p = LatencyProbe::new();
+        let mut b = WorkflowBuilder::new("latency");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+        let k = b.add_actor("probe", p.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        ThreadedDirector::new().run(&mut wf).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types shared across the engine.
+
+use std::fmt;
+
+/// Errors raised while building or executing a continuous workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A workflow graph was structurally invalid (dangling port, duplicate
+    /// actor name, cycle where a DAG was required, ...).
+    Graph(String),
+    /// An actor referenced a port name or index that does not exist.
+    UnknownPort(String),
+    /// An actor with the given name was not found in the workflow.
+    UnknownActor(String),
+    /// A token had the wrong type for the operation applied to it.
+    TokenType {
+        /// What the operation expected (e.g. `"Int"`).
+        expected: &'static str,
+        /// What it actually found (variant name).
+        found: &'static str,
+    },
+    /// A record token was missing a required field.
+    MissingField(String),
+    /// A window specification was inconsistent (zero size, step > size with
+    /// `delete_used_events`, ...).
+    Window(String),
+    /// The SDF director could not solve the balance equations for the graph
+    /// (inconsistent rates) or the graph is not schedulable.
+    Sdf(String),
+    /// An actor failed during one of its lifecycle stages.
+    Actor {
+        /// Actor name.
+        actor: String,
+        /// Lifecycle stage in which the failure happened.
+        stage: &'static str,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// A director was asked to run a workflow it cannot execute
+    /// (e.g. unsupported receiver kind).
+    Director(String),
+    /// A scheduler rejected its configuration.
+    Scheduler(String),
+    /// Relational-store errors surfaced through actors.
+    Store(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Graph(m) => write!(f, "workflow graph error: {m}"),
+            Error::UnknownPort(p) => write!(f, "unknown port: {p}"),
+            Error::UnknownActor(a) => write!(f, "unknown actor: {a}"),
+            Error::TokenType { expected, found } => {
+                write!(f, "token type error: expected {expected}, found {found}")
+            }
+            Error::MissingField(name) => write!(f, "record is missing field `{name}`"),
+            Error::Window(m) => write!(f, "window specification error: {m}"),
+            Error::Sdf(m) => write!(f, "SDF scheduling error: {m}"),
+            Error::Actor {
+                actor,
+                stage,
+                message,
+            } => write!(f, "actor `{actor}` failed in {stage}: {message}"),
+            Error::Director(m) => write!(f, "director error: {m}"),
+            Error::Scheduler(m) => write!(f, "scheduler error: {m}"),
+            Error::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+impl Error {
+    /// Build an [`Error::Actor`] with less ceremony.
+    pub fn actor(actor: impl Into<String>, stage: &'static str, message: impl Into<String>) -> Self {
+        Error::Actor {
+            actor: actor.into(),
+            stage,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::Graph("g".into()), "workflow graph error: g"),
+            (Error::UnknownPort("p".into()), "unknown port: p"),
+            (Error::UnknownActor("a".into()), "unknown actor: a"),
+            (
+                Error::TokenType {
+                    expected: "Int",
+                    found: "Str",
+                },
+                "token type error: expected Int, found Str",
+            ),
+            (
+                Error::MissingField("x".into()),
+                "record is missing field `x`",
+            ),
+            (Error::Window("w".into()), "window specification error: w"),
+            (Error::Sdf("s".into()), "SDF scheduling error: s"),
+            (
+                Error::actor("a", "fire", "boom"),
+                "actor `a` failed in fire: boom",
+            ),
+            (Error::Director("d".into()), "director error: d"),
+            (Error::Scheduler("s".into()), "scheduler error: s"),
+            (Error::Store("s".into()), "store error: s"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::Graph("x".into()));
+    }
+}

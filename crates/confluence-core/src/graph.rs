@@ -1,0 +1,676 @@
+//! Workflow specification: actors, ports, channels, and the builder.
+//!
+//! A workflow is specified once — which actors exist, how their ports are
+//! wired, what window semantics each input carries, what priority the
+//! designer gave each actor — and can then be executed under different
+//! models of computation (directors). This mirrors Kepler's decoupling of
+//! workflow specification from execution.
+
+use std::collections::HashMap;
+
+use crate::actor::{Actor, IoSignature};
+use crate::error::{Error, Result};
+use crate::window::WindowSpec;
+
+/// Identifies an actor within one workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+impl ActorId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A reference to one port of one actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// The actor.
+    pub actor: ActorId,
+    /// Port index within the actor's input or output list.
+    pub port: usize,
+}
+
+/// A directed channel from an output port to an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// Producing end.
+    pub from: PortRef,
+    /// Consuming end.
+    pub to: PortRef,
+}
+
+/// An actor plus its per-workflow configuration.
+pub struct ActorNode {
+    /// Unique name within the workflow.
+    pub name: String,
+    actor: Option<Box<dyn Actor>>,
+    /// Cached signature (stable for the actor's lifetime).
+    pub signature: IoSignature,
+    /// Designer-assigned priority (used by priority-based schedulers;
+    /// lower value = more urgent, like Unix nice). Default 20.
+    pub priority: i32,
+    /// Whether the actor reported itself as a source.
+    pub is_source: bool,
+}
+
+impl std::fmt::Debug for ActorNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorNode")
+            .field("name", &self.name)
+            .field("signature", &self.signature)
+            .field("priority", &self.priority)
+            .field("is_source", &self.is_source)
+            .field("actor_present", &self.actor.is_some())
+            .finish()
+    }
+}
+
+impl ActorNode {
+    /// Borrow the actor mutably. Panics if the actor is currently taken by
+    /// a director (programming error).
+    pub fn actor_mut(&mut self) -> &mut dyn Actor {
+        self.actor
+            .as_deref_mut()
+            .expect("actor taken by a director")
+    }
+
+    /// Borrow the actor immutably (e.g. to read its declared SDF rates).
+    /// `None` while a director has taken it.
+    pub fn peek_actor(&self) -> Option<&dyn Actor> {
+        self.actor.as_deref()
+    }
+
+    /// Move the actor out (thread-based directors move each actor into its
+    /// own thread).
+    pub fn take_actor(&mut self) -> Box<dyn Actor> {
+        self.actor.take().expect("actor already taken")
+    }
+
+    /// Return a previously taken actor.
+    pub fn return_actor(&mut self, actor: Box<dyn Actor>) {
+        debug_assert!(self.actor.is_none());
+        self.actor = Some(actor);
+    }
+}
+
+/// A complete, validated workflow specification.
+pub struct Workflow {
+    name: String,
+    nodes: Vec<ActorNode>,
+    channels: Vec<Channel>,
+    /// Window spec for each (actor, input port).
+    input_windows: Vec<Vec<WindowSpec>>,
+    /// For each (actor, output port): downstream (actor, input port) pairs.
+    routes: Vec<Vec<Vec<PortRef>>>,
+    /// For each (actor, input port): number of incoming channels.
+    in_degree: Vec<Vec<usize>>,
+    /// For each (actor, input port): where that port's expired-items queue
+    /// is delivered, if a handler activity was attached.
+    expired_routes: Vec<Vec<Option<PortRef>>>,
+}
+
+impl std::fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workflow")
+            .field("name", &self.name)
+            .field("actors", &self.nodes.len())
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+impl Workflow {
+    /// The workflow's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All actor ids.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> {
+        (0..self.nodes.len()).map(ActorId)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: ActorId) -> &ActorNode {
+        &self.nodes[id.0]
+    }
+
+    /// Borrow a node mutably.
+    pub fn node_mut(&mut self, id: ActorId) -> &mut ActorNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// Look an actor up by name.
+    pub fn find(&self, name: &str) -> Option<ActorId> {
+        self.nodes.iter().position(|n| n.name == name).map(ActorId)
+    }
+
+    /// All channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Downstream destinations of one output port.
+    pub fn routes_from(&self, actor: ActorId, out_port: usize) -> &[PortRef] {
+        &self.routes[actor.0][out_port]
+    }
+
+    /// Number of channels feeding one input port.
+    pub fn in_degree(&self, actor: ActorId, in_port: usize) -> usize {
+        self.in_degree[actor.0][in_port]
+    }
+
+    /// Window specification attached to one input port.
+    pub fn window_spec(&self, actor: ActorId, in_port: usize) -> &WindowSpec {
+        &self.input_windows[actor.0][in_port]
+    }
+
+    /// Destination of one input port's expired-items queue, if any.
+    pub fn expired_route(&self, actor: ActorId, in_port: usize) -> Option<PortRef> {
+        self.expired_routes[actor.0][in_port]
+    }
+
+    /// Whether any port routes its expired events to a handler.
+    pub fn has_expired_routes(&self) -> bool {
+        self.expired_routes
+            .iter()
+            .any(|ports| ports.iter().any(|p| p.is_some()))
+    }
+
+    /// Ids of source actors.
+    pub fn sources(&self) -> Vec<ActorId> {
+        self.actor_ids()
+            .filter(|id| self.node(*id).is_source)
+            .collect()
+    }
+
+    /// Ids of actors with no output channels (workflow outputs).
+    pub fn sinks(&self) -> Vec<ActorId> {
+        self.actor_ids()
+            .filter(|id| self.routes[id.0].iter().all(|r| r.is_empty()))
+            .collect()
+    }
+
+    /// Immediate downstream actor ids of `actor` (deduplicated).
+    pub fn downstream_actors(&self, actor: ActorId) -> Vec<ActorId> {
+        let mut out: Vec<ActorId> = self.routes[actor.0]
+            .iter()
+            .flatten()
+            .map(|p| p.actor)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Render the workflow as Graphviz DOT (actors as nodes labelled with
+    /// name and priority; channels as edges labelled with port names;
+    /// expired-handler feeds as dashed edges).
+    pub fn to_dot(&self) -> String {
+        let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n", self.name);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let shape = if node.is_source { "invhouse" } else { "box" };
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\\np{}\" shape={shape}];\n",
+                node.name, node.priority
+            ));
+        }
+        for ch in &self.channels {
+            let from = &self.nodes[ch.from.actor.0];
+            let to = &self.nodes[ch.to.actor.0];
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}→{}\"];\n",
+                ch.from.actor.0,
+                ch.to.actor.0,
+                from.signature.outputs[ch.from.port],
+                to.signature.inputs[ch.to.port],
+            ));
+        }
+        for (a, ports) in self.expired_routes.iter().enumerate() {
+            for dest in ports.iter().flatten() {
+                out.push_str(&format!(
+                    "  n{a} -> n{} [style=dashed label=\"expired\"];\n",
+                    dest.actor.0
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Immediate upstream actor ids of `actor` (deduplicated).
+    pub fn upstream_actors(&self, actor: ActorId) -> Vec<ActorId> {
+        let mut out: Vec<ActorId> = self
+            .channels
+            .iter()
+            .filter(|c| c.to.actor == actor)
+            .map(|c| c.from.actor)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Fluent constructor for [`Workflow`]s.
+///
+/// ```
+/// use confluence_core::graph::WorkflowBuilder;
+/// use confluence_core::actors::{VecSource, Collector};
+/// use confluence_core::token::Token;
+/// use confluence_core::window::WindowSpec;
+///
+/// let mut b = WorkflowBuilder::new("demo");
+/// let src = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+/// let sink = b.add_actor("sink", Collector::new().actor());
+/// b.connect(src, "out", sink, "in").unwrap();
+/// b.set_window(sink, "in", WindowSpec::each_event()).unwrap();
+/// let wf = b.build().unwrap();
+/// assert_eq!(wf.actor_count(), 2);
+/// ```
+pub struct WorkflowBuilder {
+    name: String,
+    nodes: Vec<ActorNode>,
+    channels: Vec<Channel>,
+    input_windows: Vec<Vec<WindowSpec>>,
+    expired_handlers: Vec<(ActorId, String, ActorId, String)>,
+}
+
+impl WorkflowBuilder {
+    /// Start building a workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            input_windows: Vec::new(),
+            expired_handlers: Vec::new(),
+        }
+    }
+
+    /// Add an actor under a unique name. Every input port starts with the
+    /// degenerate per-event window ([`WindowSpec::each_event`]); attach
+    /// richer semantics with [`WorkflowBuilder::set_window`].
+    pub fn add_actor(&mut self, name: impl Into<String>, actor: impl Actor + 'static) -> ActorId {
+        self.add_boxed_actor(name, Box::new(actor))
+    }
+
+    /// Add an already-boxed actor.
+    pub fn add_boxed_actor(&mut self, name: impl Into<String>, actor: Box<dyn Actor>) -> ActorId {
+        let signature = actor.signature();
+        let is_source = actor.is_source();
+        let id = ActorId(self.nodes.len());
+        self.input_windows
+            .push(vec![WindowSpec::each_event(); signature.inputs.len()]);
+        self.nodes.push(ActorNode {
+            name: name.into(),
+            actor: Some(actor),
+            signature,
+            priority: 20,
+            is_source,
+        });
+        id
+    }
+
+    /// Connect `from`'s output port (by name) to `to`'s input port (by name).
+    pub fn connect(
+        &mut self,
+        from: ActorId,
+        from_port: &str,
+        to: ActorId,
+        to_port: &str,
+    ) -> Result<()> {
+        let fp = self
+            .nodes
+            .get(from.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{from}")))?
+            .signature
+            .output_index(from_port)
+            .ok_or_else(|| {
+                Error::UnknownPort(format!("{}.{from_port} (output)", self.nodes[from.0].name))
+            })?;
+        let tp = self
+            .nodes
+            .get(to.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{to}")))?
+            .signature
+            .input_index(to_port)
+            .ok_or_else(|| {
+                Error::UnknownPort(format!("{}.{to_port} (input)", self.nodes[to.0].name))
+            })?;
+        self.channels.push(Channel {
+            from: PortRef {
+                actor: from,
+                port: fp,
+            },
+            to: PortRef {
+                actor: to,
+                port: tp,
+            },
+        });
+        Ok(())
+    }
+
+    /// Attach window semantics to an input port.
+    pub fn set_window(&mut self, actor: ActorId, port: &str, spec: WindowSpec) -> Result<()> {
+        spec.validate()?;
+        let node = self
+            .nodes
+            .get(actor.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
+        let idx = node.signature.input_index(port).ok_or_else(|| {
+            Error::UnknownPort(format!("{}.{port} (input)", node.name))
+        })?;
+        self.input_windows[actor.0][idx] = spec;
+        Ok(())
+    }
+
+    /// Convenience: connect and set the destination port's window in one go.
+    pub fn connect_windowed(
+        &mut self,
+        from: ActorId,
+        from_port: &str,
+        to: ActorId,
+        to_port: &str,
+        spec: WindowSpec,
+    ) -> Result<()> {
+        self.connect(from, from_port, to, to_port)?;
+        self.set_window(to, to_port, spec)
+    }
+
+    /// Assign a designer priority (used by the QBS scheduler; lower is more
+    /// urgent).
+    pub fn set_priority(&mut self, actor: ActorId, priority: i32) {
+        self.nodes[actor.0].priority = priority;
+    }
+
+    /// Attach a handler activity to an input port's expired-items queue
+    /// (paper §2.1: "when events expire they are pushed to an expired
+    /// items queue which are optionally handled by another workflow
+    /// activity"). Events sliding out of `actor.port`'s windows are
+    /// delivered to `handler.handler_port` instead of being discarded.
+    pub fn set_expired_handler(
+        &mut self,
+        actor: ActorId,
+        port: &str,
+        handler: ActorId,
+        handler_port: &str,
+    ) -> Result<()> {
+        // Validate names eagerly; resolution happens at build().
+        let node = self
+            .nodes
+            .get(actor.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
+        node.signature
+            .input_index(port)
+            .ok_or_else(|| Error::UnknownPort(format!("{}.{port} (input)", node.name)))?;
+        let h = self
+            .nodes
+            .get(handler.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{handler}")))?;
+        h.signature
+            .input_index(handler_port)
+            .ok_or_else(|| Error::UnknownPort(format!("{}.{handler_port} (input)", h.name)))?;
+        self.expired_handlers
+            .push((actor, port.to_string(), handler, handler_port.to_string()));
+        Ok(())
+    }
+
+    /// Validate and produce the workflow.
+    pub fn build(self) -> Result<Workflow> {
+        let mut seen = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(prev) = seen.insert(node.name.clone(), i) {
+                return Err(Error::Graph(format!(
+                    "duplicate actor name `{}` (actors #{prev} and #{i})",
+                    node.name
+                )));
+            }
+        }
+        let mut routes: Vec<Vec<Vec<PortRef>>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![Vec::new(); n.signature.outputs.len()])
+            .collect();
+        let mut in_degree: Vec<Vec<usize>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![0; n.signature.inputs.len()])
+            .collect();
+        for ch in &self.channels {
+            routes[ch.from.actor.0][ch.from.port].push(ch.to);
+            in_degree[ch.to.actor.0][ch.to.port] += 1;
+        }
+        let mut expired_routes: Vec<Vec<Option<PortRef>>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![None; n.signature.inputs.len()])
+            .collect();
+        for (actor, port, handler, handler_port) in &self.expired_handlers {
+            let pi = self.nodes[actor.0]
+                .signature
+                .input_index(port)
+                .expect("validated at registration");
+            let hi = self.nodes[handler.0]
+                .signature
+                .input_index(handler_port)
+                .expect("validated at registration");
+            expired_routes[actor.0][pi] = Some(PortRef {
+                actor: *handler,
+                port: hi,
+            });
+        }
+        // Source actors must not have connected inputs; non-source actors
+        // with inputs must have at least one connected input overall,
+        // otherwise they can never fire. A port that only receives expired
+        // events counts as connected.
+        let expired_fed: Vec<ActorId> = expired_routes
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.actor)
+            .collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.is_source && in_degree[i].iter().any(|&d| d > 0) {
+                return Err(Error::Graph(format!(
+                    "source actor `{}` has connected inputs",
+                    node.name
+                )));
+            }
+            if !node.is_source
+                && !node.signature.inputs.is_empty()
+                && in_degree[i].iter().all(|&d| d == 0)
+                && !expired_fed.contains(&ActorId(i))
+            {
+                return Err(Error::Graph(format!(
+                    "actor `{}` has no connected inputs and is not a source",
+                    node.name
+                )));
+            }
+        }
+        Ok(Workflow {
+            name: self.name,
+            nodes: self.nodes,
+            channels: self.channels,
+            input_windows: self.input_windows,
+            routes,
+            in_degree,
+            expired_routes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::FireContext;
+    use crate::token::Token;
+
+    struct Src;
+    impl Actor for Src {
+        fn signature(&self) -> IoSignature {
+            IoSignature::source("out")
+        }
+        fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+            ctx.emit(0, Token::Int(1));
+            Ok(())
+        }
+        fn is_source(&self) -> bool {
+            true
+        }
+    }
+
+    struct Pass;
+    impl Actor for Pass {
+        fn signature(&self) -> IoSignature {
+            IoSignature::transform("in", "out")
+        }
+        fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+            if let Some(w) = ctx.get(0) {
+                for t in w.tokens() {
+                    ctx.emit(0, t.clone());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    struct Sink;
+    impl Actor for Sink {
+        fn signature(&self) -> IoSignature {
+            IoSignature::sink("in")
+        }
+        fn fire(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let s = b.add_actor("src", Src);
+        let p1 = b.add_actor("p1", Pass);
+        let p2 = b.add_actor("p2", Pass);
+        let k = b.add_actor("sink", Sink);
+        b.connect(s, "out", p1, "in").unwrap();
+        b.connect(s, "out", p2, "in").unwrap();
+        b.connect(p1, "out", k, "in").unwrap();
+        b.connect(p2, "out", k, "in").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_queries_topology() {
+        let wf = diamond();
+        assert_eq!(wf.actor_count(), 4);
+        assert_eq!(wf.channels().len(), 4);
+        let s = wf.find("src").unwrap();
+        let k = wf.find("sink").unwrap();
+        assert_eq!(wf.sources(), vec![s]);
+        assert_eq!(wf.sinks(), vec![k]);
+        assert_eq!(wf.routes_from(s, 0).len(), 2);
+        assert_eq!(wf.in_degree(k, 0), 2);
+        assert_eq!(wf.downstream_actors(s).len(), 2);
+        assert_eq!(wf.upstream_actors(k).len(), 2);
+        assert!(wf.find("nope").is_none());
+        assert_eq!(format!("{s}"), "actor#0");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = WorkflowBuilder::new("dup");
+        b.add_actor("x", Src);
+        b.add_actor("x", Sink);
+        assert!(matches!(b.build(), Err(Error::Graph(_))));
+    }
+
+    #[test]
+    fn unknown_ports_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        let s = b.add_actor("s", Src);
+        let k = b.add_actor("k", Sink);
+        assert!(b.connect(s, "nope", k, "in").is_err());
+        assert!(b.connect(s, "out", k, "nope").is_err());
+        assert!(b
+            .set_window(k, "nope", crate::window::WindowSpec::each_event())
+            .is_err());
+    }
+
+    #[test]
+    fn dangling_input_rejected() {
+        let mut b = WorkflowBuilder::new("dangling");
+        b.add_actor("s", Src);
+        b.add_actor("k", Sink); // never connected
+        assert!(matches!(b.build(), Err(Error::Graph(_))));
+    }
+
+    #[test]
+    fn source_with_input_rejected() {
+        struct WeirdSource;
+        impl Actor for WeirdSource {
+            fn signature(&self) -> IoSignature {
+                IoSignature::new(&["in"], &["out"])
+            }
+            fn fire(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+                Ok(())
+            }
+            fn is_source(&self) -> bool {
+                true
+            }
+        }
+        let mut b = WorkflowBuilder::new("weird");
+        let s = b.add_actor("s", Src);
+        let w = b.add_actor("w", WeirdSource);
+        b.connect(s, "out", w, "in").unwrap();
+        assert!(matches!(b.build(), Err(Error::Graph(_))));
+    }
+
+    #[test]
+    fn priorities_and_windows_stored() {
+        let mut b = WorkflowBuilder::new("p");
+        let s = b.add_actor("s", Src);
+        let k = b.add_actor("k", Sink);
+        b.connect_windowed(s, "out", k, "in", crate::window::WindowSpec::tuples(4, 1))
+            .unwrap();
+        b.set_priority(k, 5);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.node(k).priority, 5);
+        assert_eq!(
+            wf.window_spec(k, 0).size,
+            crate::window::Measure::Tuples(4)
+        );
+        assert_eq!(wf.node(s).priority, 20);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let wf = diamond();
+        let dot = wf.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("src"));
+        assert!(dot.contains("invhouse"), "sources get a distinct shape");
+        assert_eq!(dot.matches(" -> ").count(), 4, "four channels");
+        assert!(dot.contains("out→in"));
+    }
+
+    #[test]
+    fn take_and_return_actor() {
+        let mut wf = diamond();
+        let s = wf.find("src").unwrap();
+        let a = wf.node_mut(s).take_actor();
+        wf.node_mut(s).return_actor(a);
+        let _ = wf.node_mut(s).actor_mut();
+    }
+}

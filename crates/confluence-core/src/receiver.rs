@@ -1,0 +1,313 @@
+//! Receivers: the active queues sitting on actor input ports.
+//!
+//! In Kepler the receiving point of a channel has a *receiver* object which
+//! is provided not by the actor but by the director. CONFLuEnCE's
+//! **Windowed Receiver** encapsulates arriving tokens into timestamped,
+//! wave-stamped events, runs the window operator on the queue, and makes
+//! formed windows available to the actor's `get()` — here split into:
+//!
+//! * [`PortReceiver`] — one per input port: wraps the [`WindowOperator`]
+//!   behind a lock and forwards formed windows to the owning actor's inbox
+//!   (the paper's TM Windowed Receiver forwarding produced windows to the
+//!   actor's ready queue at the director, Figure 4);
+//! * [`ActorInbox`] — one per actor: the ready queue of `(port, Window)`
+//!   pairs. The thread-based director blocks on it; the STAFiLOS scheduled
+//!   director polls it and feeds its scheduler.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::Result;
+use crate::event::CwEvent;
+use crate::time::Timestamp;
+use crate::window::{Window, WindowOperator, WindowSpec};
+
+/// Result of a blocking inbox pop.
+#[derive(Debug, PartialEq)]
+pub enum InboxPop {
+    /// A window is ready on the given input port.
+    Window(usize, Window),
+    /// The wait deadline passed with no window.
+    TimedOut,
+    /// Every upstream port has closed and no windows remain.
+    Closed,
+}
+
+#[derive(Debug)]
+struct InboxState {
+    windows: VecDeque<(usize, Window)>,
+    open_ports: usize,
+}
+
+/// The per-actor ready queue of formed windows.
+#[derive(Debug)]
+pub struct ActorInbox {
+    state: Mutex<InboxState>,
+    cond: Condvar,
+}
+
+impl ActorInbox {
+    /// An inbox fed by `input_ports` port receivers.
+    pub fn new(input_ports: usize) -> Arc<Self> {
+        Arc::new(ActorInbox {
+            state: Mutex::new(InboxState {
+                windows: VecDeque::new(),
+                open_ports: input_ports,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Enqueue a formed window from input port `port`.
+    pub fn push(&self, port: usize, window: Window) {
+        let mut st = self.state.lock();
+        st.windows.push_back((port, window));
+        drop(st);
+        self.cond.notify_one();
+    }
+
+    /// Non-blocking pop (used by scheduled directors).
+    pub fn try_pop(&self) -> Option<(usize, Window)> {
+        self.state.lock().windows.pop_front()
+    }
+
+    /// Blocking pop with an optional wall-clock timeout (used by the
+    /// thread-based director; the timeout realizes window-formation
+    /// timeouts, after which the caller polls its receivers).
+    pub fn pop_blocking(&self, timeout: Option<std::time::Duration>) -> InboxPop {
+        let mut st = self.state.lock();
+        loop {
+            if let Some((port, w)) = st.windows.pop_front() {
+                return InboxPop::Window(port, w);
+            }
+            if st.open_ports == 0 {
+                return InboxPop::Closed;
+            }
+            match timeout {
+                Some(t) => {
+                    if self.cond.wait_for(&mut st, t).timed_out() {
+                        return InboxPop::TimedOut;
+                    }
+                }
+                None => self.cond.wait(&mut st),
+            }
+        }
+    }
+
+    /// Number of ready windows.
+    pub fn len(&self) -> usize {
+        self.state.lock().windows.len()
+    }
+
+    /// Whether no windows are ready.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mark one feeding port as closed (its upstream actors all finished).
+    pub fn close_port(&self) {
+        let mut st = self.state.lock();
+        st.open_ports = st.open_ports.saturating_sub(1);
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Whether every feeding port has closed (more windows may still be
+    /// queued).
+    pub fn all_ports_closed(&self) -> bool {
+        self.state.lock().open_ports == 0
+    }
+}
+
+/// The Windowed Receiver on one input port.
+pub struct PortReceiver {
+    op: Mutex<WindowOperator>,
+    inbox: Arc<ActorInbox>,
+    port: usize,
+    /// Channels still feeding this port; when the count reaches zero the
+    /// receiver flushes and closes its inbox port.
+    remaining_upstreams: Mutex<usize>,
+}
+
+impl std::fmt::Debug for PortReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortReceiver")
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl PortReceiver {
+    /// Build the receiver for input `port` of the actor owning `inbox`,
+    /// with the given window semantics, fed by `upstreams` channels.
+    pub fn new(
+        spec: WindowSpec,
+        inbox: Arc<ActorInbox>,
+        port: usize,
+        upstreams: usize,
+    ) -> Result<Self> {
+        Ok(PortReceiver {
+            op: Mutex::new(WindowOperator::new(spec)?),
+            inbox,
+            port,
+            remaining_upstreams: Mutex::new(upstreams),
+        })
+    }
+
+    /// The input port index this receiver serves.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// The paper's `put()`: encapsulated event goes into the appropriate
+    /// group queue; within the same call window semantics are evaluated and
+    /// any produced window is forwarded to the actor's ready queue.
+    /// Returns the number of windows produced.
+    pub fn put(&self, event: CwEvent, now: Timestamp) -> Result<usize> {
+        let mut op = self.op.lock();
+        let n = op.push(event, now)?;
+        for _ in 0..n {
+            let w = op.pop_window().expect("push reported n windows");
+            self.inbox.push(self.port, w);
+        }
+        Ok(n)
+    }
+
+    /// Evaluate time-driven window production at director time `now`
+    /// (window-timeout events). Returns windows produced.
+    pub fn poll(&self, now: Timestamp) -> usize {
+        let mut op = self.op.lock();
+        let n = op.poll(now);
+        for _ in 0..n {
+            let w = op.pop_window().expect("poll reported n windows");
+            self.inbox.push(self.port, w);
+        }
+        n
+    }
+
+    /// Earliest time at which [`PortReceiver::poll`] could produce.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.op.lock().next_deadline()
+    }
+
+    /// Events buffered in group queues.
+    pub fn pending_events(&self) -> usize {
+        self.op.lock().pending_events()
+    }
+
+    /// Drain expired events (for an expired-items handler activity).
+    pub fn drain_expired(&self) -> Vec<CwEvent> {
+        self.op.lock().drain_expired()
+    }
+
+    /// One upstream channel finished. When the last one does, remaining
+    /// partial windows are flushed to the inbox and the inbox port closes.
+    /// Returns `true` if this call fully closed the receiver.
+    pub fn upstream_closed(&self, now: Timestamp) -> bool {
+        let mut remaining = self.remaining_upstreams.lock();
+        debug_assert!(*remaining > 0, "more closes than upstream channels");
+        *remaining -= 1;
+        if *remaining > 0 {
+            return false;
+        }
+        drop(remaining);
+        let mut op = self.op.lock();
+        let n = op.flush(now);
+        for _ in 0..n {
+            let w = op.pop_window().expect("flush reported n windows");
+            self.inbox.push(self.port, w);
+        }
+        drop(op);
+        self.inbox.close_port();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn ev(v: i64, ts: u64) -> CwEvent {
+        CwEvent::external(Token::Int(v), Timestamp(ts))
+    }
+
+    #[test]
+    fn put_forms_windows_into_inbox() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::new(WindowSpec::tuples(2, 2), inbox.clone(), 0, 1).unwrap();
+        assert_eq!(r.put(ev(1, 0), Timestamp(0)).unwrap(), 0);
+        assert!(inbox.is_empty());
+        assert_eq!(r.put(ev(2, 1), Timestamp(1)).unwrap(), 1);
+        let (port, w) = inbox.try_pop().unwrap();
+        assert_eq!(port, 0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(r.port(), 0);
+    }
+
+    #[test]
+    fn poll_produces_timed_windows() {
+        use crate::time::Micros;
+        let inbox = ActorInbox::new(1);
+        let spec = WindowSpec::tuples(10, 10).with_timeout(Micros(50));
+        let r = PortReceiver::new(spec, inbox.clone(), 0, 1).unwrap();
+        r.put(ev(1, 0), Timestamp(0)).unwrap();
+        assert_eq!(r.next_deadline(), Some(Timestamp(50)));
+        assert_eq!(r.poll(Timestamp(49)), 0);
+        assert_eq!(r.poll(Timestamp(50)), 1);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(r.pending_events(), 0);
+        assert_eq!(r.drain_expired().len(), 1);
+    }
+
+    #[test]
+    fn close_flushes_and_closes_inbox() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::new(WindowSpec::tuples(10, 10), inbox.clone(), 0, 2).unwrap();
+        r.put(ev(1, 0), Timestamp(0)).unwrap();
+        r.upstream_closed(Timestamp(5));
+        assert!(!inbox.all_ports_closed(), "one of two upstreams remains");
+        r.upstream_closed(Timestamp(6));
+        assert!(inbox.all_ports_closed());
+        let (_, w) = inbox.try_pop().expect("flushed short window");
+        assert!(w.timed_out);
+        assert_eq!(inbox.pop_blocking(None), InboxPop::Closed);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let inbox = ActorInbox::new(1);
+        let inbox2 = inbox.clone();
+        let t = std::thread::spawn(move || inbox2.pop_blocking(None));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        inbox.push(
+            0,
+            Window {
+                group: Token::Unit,
+                events: vec![ev(1, 0)],
+                formed_at: Timestamp(0),
+                timed_out: false,
+            },
+        );
+        match t.join().unwrap() {
+            InboxPop::Window(0, w) => assert_eq!(w.len(), 1),
+            other => panic!("unexpected pop result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_pop_times_out() {
+        let inbox = ActorInbox::new(1);
+        let r = inbox.pop_blocking(Some(std::time::Duration::from_millis(5)));
+        assert_eq!(r, InboxPop::TimedOut);
+    }
+
+    #[test]
+    fn blocking_pop_returns_closed() {
+        let inbox = ActorInbox::new(1);
+        inbox.close_port();
+        assert_eq!(inbox.pop_blocking(None), InboxPop::Closed);
+    }
+}

@@ -1,0 +1,563 @@
+//! Dynamic, self-describing data items flowing through a workflow.
+//!
+//! Kepler calls the data items exchanged between actors *tokens*; we keep
+//! the name. A [`Token`] is a small dynamically-typed value: scalars,
+//! strings, records (named fields), and arrays. Records are the workhorse —
+//! a Linear Road position report, for example, is a record with fields
+//! `time`, `carid`, `speed`, `xway`, `lane`, `dir`, `seg`, `pos`.
+//!
+//! Tokens are cheap to clone: strings, records, and arrays are reference
+//! counted.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// A dynamically-typed data item.
+#[derive(Debug, Clone, Default)]
+pub enum Token {
+    /// The unit token: pure trigger, carries no data.
+    #[default]
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Immutable shared string.
+    Str(Arc<str>),
+    /// Record with named fields, in declaration order.
+    Record(Arc<Record>),
+    /// Immutable array of tokens.
+    Array(Arc<[Token]>),
+}
+
+/// A record token's payload: ordered named fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    fields: Vec<(Arc<str>, Token)>,
+}
+
+impl Record {
+    /// Create a record from `(name, value)` pairs, keeping order.
+    pub fn new(fields: Vec<(Arc<str>, Token)>) -> Self {
+        Record { fields }
+    }
+
+    /// Look a field up by name.
+    pub fn get(&self, name: &str) -> Option<&Token> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterate the fields in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Token)> {
+        self.fields.iter().map(|(n, v)| (n.as_ref(), v))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// A copy of this record with `name` set to `value` (replacing an
+    /// existing field or appending a new one).
+    pub fn with(&self, name: &str, value: Token) -> Record {
+        let mut fields = self.fields.clone();
+        if let Some(slot) = fields.iter_mut().find(|(n, _)| n.as_ref() == name) {
+            slot.1 = value;
+        } else {
+            fields.push((Arc::from(name), value));
+        }
+        Record { fields }
+    }
+}
+
+/// Fluent builder for record tokens.
+///
+/// ```
+/// use confluence_core::token::Token;
+/// let report = Token::record()
+///     .field("carid", 107)
+///     .field("speed", 54.5)
+///     .build();
+/// assert_eq!(report.get("carid").unwrap().as_int().unwrap(), 107);
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordBuilder {
+    fields: Vec<(Arc<str>, Token)>,
+}
+
+impl RecordBuilder {
+    /// Append a field.
+    pub fn field(mut self, name: &str, value: impl Into<Token>) -> Self {
+        self.fields.push((Arc::from(name), value.into()));
+        self
+    }
+
+    /// Finish, producing a record token.
+    pub fn build(self) -> Token {
+        Token::Record(Arc::new(Record::new(self.fields)))
+    }
+}
+
+impl Token {
+    /// Start building a record token.
+    pub fn record() -> RecordBuilder {
+        RecordBuilder::default()
+    }
+
+    /// Build a string token.
+    pub fn str(s: &str) -> Token {
+        Token::Str(Arc::from(s))
+    }
+
+    /// Build an array token.
+    pub fn array(items: Vec<Token>) -> Token {
+        Token::Array(Arc::from(items))
+    }
+
+    /// The variant name, used in type-error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Token::Unit => "Unit",
+            Token::Bool(_) => "Bool",
+            Token::Int(_) => "Int",
+            Token::Float(_) => "Float",
+            Token::Str(_) => "Str",
+            Token::Record(_) => "Record",
+            Token::Array(_) => "Array",
+        }
+    }
+
+    /// Interpret as integer.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Token::Int(v) => Ok(*v),
+            other => Err(Error::TokenType {
+                expected: "Int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as float, widening integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Token::Float(v) => Ok(*v),
+            Token::Int(v) => Ok(*v as f64),
+            other => Err(Error::TokenType {
+                expected: "Float",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as boolean.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Token::Bool(v) => Ok(*v),
+            other => Err(Error::TokenType {
+                expected: "Bool",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Token::Str(v) => Ok(v.as_ref()),
+            other => Err(Error::TokenType {
+                expected: "Str",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as record.
+    pub fn as_record(&self) -> Result<&Record> {
+        match self {
+            Token::Record(v) => Ok(v.as_ref()),
+            other => Err(Error::TokenType {
+                expected: "Record",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as array slice.
+    pub fn as_array(&self) -> Result<&[Token]> {
+        match self {
+            Token::Array(v) => Ok(v.as_ref()),
+            other => Err(Error::TokenType {
+                expected: "Array",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Record field access: `token.get("seg")`.
+    ///
+    /// Returns `Err` if the token is not a record; `Ok(None)` if the field
+    /// is absent.
+    pub fn get(&self, name: &str) -> Result<&Token> {
+        self.as_record()?
+            .get(name)
+            .ok_or_else(|| Error::MissingField(name.to_string()))
+    }
+
+    /// Shorthand: integer field of a record.
+    pub fn int_field(&self, name: &str) -> Result<i64> {
+        self.get(name)?.as_int()
+    }
+
+    /// Shorthand: float field of a record.
+    pub fn float_field(&self, name: &str) -> Result<f64> {
+        self.get(name)?.as_float()
+    }
+
+    /// Project a record onto a subset of its fields (used by group-by key
+    /// extraction). Missing fields become an error.
+    pub fn project(&self, names: &[impl AsRef<str>]) -> Result<Token> {
+        let rec = self.as_record()?;
+        let mut fields = Vec::with_capacity(names.len());
+        for name in names {
+            let name = name.as_ref();
+            let value = rec
+                .get(name)
+                .ok_or_else(|| Error::MissingField(name.to_string()))?;
+            fields.push((Arc::from(name), value.clone()));
+        }
+        Ok(Token::Record(Arc::new(Record::new(fields))))
+    }
+}
+
+impl From<i64> for Token {
+    fn from(v: i64) -> Self {
+        Token::Int(v)
+    }
+}
+impl From<i32> for Token {
+    fn from(v: i32) -> Self {
+        Token::Int(v as i64)
+    }
+}
+impl From<u32> for Token {
+    fn from(v: u32) -> Self {
+        Token::Int(v as i64)
+    }
+}
+impl From<f64> for Token {
+    fn from(v: f64) -> Self {
+        Token::Float(v)
+    }
+}
+impl From<bool> for Token {
+    fn from(v: bool) -> Self {
+        Token::Bool(v)
+    }
+}
+impl From<&str> for Token {
+    fn from(v: &str) -> Self {
+        Token::str(v)
+    }
+}
+impl From<String> for Token {
+    fn from(v: String) -> Self {
+        Token::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl PartialEq for Token {
+    fn eq(&self, other: &Self) -> bool {
+        use Token::*;
+        match (self, other) {
+            (Unit, Unit) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64).to_bits() == b.to_bits(),
+            (Str(a), Str(b)) => a == b,
+            (Record(a), Record(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Token {}
+
+impl Hash for Token {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Token::Unit => {}
+            Token::Bool(v) => v.hash(state),
+            Token::Int(v) => v.hash(state),
+            // Floats hash by bit pattern; combined with the bit-pattern
+            // equality above this keeps Eq/Hash consistent.
+            Token::Float(v) => v.to_bits().hash(state),
+            Token::Str(v) => v.hash(state),
+            Token::Record(rec) => {
+                for (n, v) in rec.iter() {
+                    n.hash(state);
+                    v.hash(state);
+                }
+            }
+            Token::Array(items) => {
+                for v in items.iter() {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Token {
+    /// Total order within comparable variants; cross-type comparisons (other
+    /// than Int/Float) order by variant. This gives group keys and sort keys
+    /// a stable, deterministic order.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Token {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Token::*;
+        fn rank(t: &Token) -> u8 {
+            match t {
+                Unit => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+                Record(_) => 4,
+                Array(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Record(a), Record(b)) => {
+                for ((na, va), (nb, vb)) in a.iter().zip(b.iter()) {
+                    match na.cmp(nb).then_with(|| va.cmp(vb)) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Array(a), Array(b)) => {
+                for (va, vb) in a.iter().zip(b.iter()) {
+                    match va.cmp(vb) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Unit => write!(f, "()"),
+            Token::Bool(v) => write!(f, "{v}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(v) => write!(f, "{v:?}"),
+            Token::Record(rec) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in rec.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Token::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(t: &Token) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Token::Int(5).as_int().unwrap(), 5);
+        assert_eq!(Token::Int(5).as_float().unwrap(), 5.0);
+        assert_eq!(Token::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(Token::Bool(true).as_bool().unwrap());
+        assert_eq!(Token::str("hi").as_str().unwrap(), "hi");
+        assert!(matches!(
+            Token::Int(1).as_str(),
+            Err(Error::TokenType {
+                expected: "Str",
+                found: "Int"
+            })
+        ));
+    }
+
+    #[test]
+    fn record_building_and_access() {
+        let t = Token::record().field("a", 1).field("b", 2.0).build();
+        assert_eq!(t.int_field("a").unwrap(), 1);
+        assert_eq!(t.float_field("b").unwrap(), 2.0);
+        assert!(matches!(t.get("c"), Err(Error::MissingField(_))));
+        let rec = t.as_record().unwrap();
+        assert_eq!(rec.len(), 2);
+        assert!(!rec.is_empty());
+        let names: Vec<&str> = rec.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn record_with_replaces_or_appends() {
+        let t = Token::record().field("a", 1).build();
+        let rec = t.as_record().unwrap();
+        let updated = rec.with("a", Token::Int(9));
+        assert_eq!(updated.get("a").unwrap().as_int().unwrap(), 9);
+        let extended = rec.with("b", Token::Int(2));
+        assert_eq!(extended.len(), 2);
+        assert_eq!(extended.get("b").unwrap().as_int().unwrap(), 2);
+    }
+
+    #[test]
+    fn projection_extracts_group_keys() {
+        let t = Token::record()
+            .field("xway", 0)
+            .field("seg", 42)
+            .field("speed", 55.0)
+            .build();
+        let key = t.project(&["xway", "seg"]).unwrap();
+        assert_eq!(
+            key,
+            Token::record().field("xway", 0).field("seg", 42).build()
+        );
+        assert!(t.project(&["nope"]).is_err());
+        assert!(Token::Int(1).project(&["x"]).is_err());
+    }
+
+    #[test]
+    fn eq_and_hash_consistent_for_floats() {
+        let a = Token::Float(1.0);
+        let b = Token::Int(1);
+        assert_eq!(a, b);
+        // NaN equals itself under bit-pattern equality → usable as a key.
+        let nan = Token::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![
+            Token::str("b"),
+            Token::Int(2),
+            Token::Unit,
+            Token::Float(1.5),
+            Token::str("a"),
+            Token::Bool(false),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Token::Unit,
+                Token::Bool(false),
+                Token::Float(1.5),
+                Token::Int(2),
+                Token::str("a"),
+                Token::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn array_and_record_ordering() {
+        let a = Token::array(vec![Token::Int(1), Token::Int(2)]);
+        let b = Token::array(vec![Token::Int(1), Token::Int(3)]);
+        let c = Token::array(vec![Token::Int(1)]);
+        assert!(a < b);
+        assert!(c < a);
+        let r1 = Token::record().field("k", 1).build();
+        let r2 = Token::record().field("k", 2).build();
+        assert!(r1 < r2);
+    }
+
+    #[test]
+    fn display_renders_values() {
+        let t = Token::record()
+            .field("id", 7)
+            .field("tags", Token::array(vec![Token::str("x")]))
+            .build();
+        assert_eq!(t.to_string(), "{id: 7, tags: [\"x\"]}");
+        assert_eq!(Token::Unit.to_string(), "()");
+    }
+
+    #[test]
+    fn conversions() {
+        let _: Token = 1i64.into();
+        let _: Token = 1i32.into();
+        let _: Token = 1u32.into();
+        let _: Token = 1.0f64.into();
+        let _: Token = true.into();
+        let _: Token = "s".into();
+        let _: Token = String::from("s").into();
+        assert_eq!(Token::from(3i32), Token::Int(3));
+    }
+
+    #[test]
+    fn type_names() {
+        for (t, n) in [
+            (Token::Unit, "Unit"),
+            (Token::Bool(true), "Bool"),
+            (Token::Int(0), "Int"),
+            (Token::Float(0.0), "Float"),
+            (Token::str(""), "Str"),
+            (Token::record().build(), "Record"),
+            (Token::array(vec![]), "Array"),
+        ] {
+            assert_eq!(t.type_name(), n);
+        }
+    }
+}

@@ -1,0 +1,958 @@
+//! The window operator: runs on an input queue, forms windows.
+//!
+//! One [`WindowOperator`] is attached to each windowed input port. Events
+//! are pushed in arrival order; the operator partitions them into per-group
+//! queues, forms windows according to the [`WindowSpec`], appends produced
+//! windows to a ready queue, and pushes events that slide out of scope (or
+//! are consumed under `delete_used_events`) to the expired-items queue.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::error::Result;
+use crate::event::CwEvent;
+use crate::time::{Micros, Timestamp};
+use crate::token::Token;
+use crate::wave::WaveTracker;
+
+use super::{Measure, Window, WindowSpec};
+
+/// Window-forming state machine for one input port.
+#[derive(Debug)]
+pub struct WindowOperator {
+    spec: WindowSpec,
+    kind: Kind,
+    groups: HashMap<Token, GroupState>,
+    /// Group keys in first-arrival order, for deterministic flushing.
+    group_order: Vec<Token>,
+    ready: VecDeque<Window>,
+    expired: VecDeque<CwEvent>,
+    pending: usize,
+    /// Incremental deadline index: poll time → groups due at that time.
+    /// Keeps [`WindowOperator::next_deadline`] O(1) and
+    /// [`WindowOperator::poll`] proportional to the *due* groups only —
+    /// essential when group-by fans out to thousands of queues.
+    deadline_index: BTreeMap<Timestamp, Vec<Token>>,
+    group_deadline: HashMap<Token, Timestamp>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Tuples { size: usize, step: usize },
+    Time { size: u64, step: u64 },
+    Wave,
+}
+
+#[derive(Debug)]
+enum GroupState {
+    Tuples(TupleGroup),
+    Time(TimeGroup),
+    Wave(WaveGroup),
+}
+
+#[derive(Debug, Default)]
+struct TupleGroup {
+    /// Buffered events; the front event has logical sequence `front_seq`.
+    events: VecDeque<CwEvent>,
+    /// Sequence number of the front of `events`.
+    front_seq: u64,
+    /// Total events ever pushed (next event's sequence number).
+    next_seq: u64,
+    /// Sequence at which the next window starts.
+    next_start: u64,
+}
+
+#[derive(Debug, Default)]
+struct TimeGroup {
+    /// Buffered events, kept sorted by event timestamp.
+    events: VecDeque<CwEvent>,
+    /// Highest event time observed (arrival watermark).
+    watermark: u64,
+    /// Index of the next window to close: window k covers `[k*step, k*step+size)`.
+    next_k: u64,
+}
+
+#[derive(Debug, Default)]
+struct WaveGroup {
+    /// Per-wave trackers and buffered events, keyed by wave origin.
+    waves: BTreeMap<Timestamp, (WaveTracker, Vec<CwEvent>)>,
+}
+
+impl WindowOperator {
+    /// Build an operator for a validated spec.
+    pub fn new(spec: WindowSpec) -> Result<Self> {
+        spec.validate()?;
+        let kind = match (spec.size, spec.step) {
+            (Measure::Tuples(size), Measure::Tuples(step)) => Kind::Tuples { size, step },
+            (Measure::Time(size), Measure::Time(step)) => Kind::Time {
+                size: size.as_micros(),
+                step: step.as_micros(),
+            },
+            (Measure::Wave, _) => Kind::Wave,
+            _ => unreachable!("validate() rejects mixed measures"),
+        };
+        Ok(WindowOperator {
+            spec,
+            kind,
+            groups: HashMap::new(),
+            group_order: Vec::new(),
+            ready: VecDeque::new(),
+            expired: VecDeque::new(),
+            pending: 0,
+            deadline_index: BTreeMap::new(),
+            group_deadline: HashMap::new(),
+        })
+    }
+
+    /// The specification this operator implements.
+    pub fn spec(&self) -> &WindowSpec {
+        &self.spec
+    }
+
+    /// Push one event (arrival time = director time `now`). Any windows the
+    /// event completes are appended to the ready queue; returns how many.
+    pub fn push(&mut self, event: CwEvent, now: Timestamp) -> Result<usize> {
+        let key = self.spec.group_by.key_of(&event.token)?;
+        if !self.groups.contains_key(&key) {
+            let fresh = match self.kind {
+                Kind::Tuples { .. } => GroupState::Tuples(TupleGroup::default()),
+                Kind::Time { .. } => GroupState::Time(TimeGroup::default()),
+                Kind::Wave => GroupState::Wave(WaveGroup::default()),
+            };
+            self.groups.insert(key.clone(), fresh);
+            self.group_order.push(key.clone());
+        }
+        let produced_before = self.ready.len();
+        let kind = self.kind;
+        let delete_used = self.spec.delete_used_events;
+        let group = self.groups.get_mut(&key).expect("group inserted above");
+        let mut out = Emitted {
+            ready: &mut self.ready,
+            expired: &mut self.expired,
+            pending_delta: 0,
+        };
+        match (group, kind) {
+            (GroupState::Tuples(g), Kind::Tuples { size, step }) => {
+                g.push(event, key.clone(), size, step, delete_used, now, &mut out);
+            }
+            (GroupState::Time(g), Kind::Time { size, step }) => {
+                g.push(event, key.clone(), size, step, delete_used, now, &mut out);
+            }
+            (GroupState::Wave(g), Kind::Wave) => {
+                g.push(event, key.clone(), now, &mut out);
+            }
+            _ => unreachable!("group state kind matches operator kind"),
+        }
+        self.pending = (self.pending as i64 + 1 + out.pending_delta) as usize;
+        self.refresh_deadline(&key);
+        Ok(self.ready.len() - produced_before)
+    }
+
+    /// Per-group poll: close what is due for one group at `now`.
+    fn poll_group(&mut self, key: &Token, now: Timestamp) {
+        let kind = self.kind;
+        let delete_used = self.spec.delete_used_events;
+        let timeout = self.spec.timeout;
+        let Some(group) = self.groups.get_mut(key) else {
+            return;
+        };
+        let mut out = Emitted {
+            ready: &mut self.ready,
+            expired: &mut self.expired,
+            pending_delta: 0,
+        };
+        match (group, kind) {
+            (GroupState::Tuples(g), Kind::Tuples { size, step }) => {
+                g.poll(key.clone(), size, step, delete_used, timeout, now, &mut out);
+            }
+            (GroupState::Time(g), Kind::Time { size, step }) => {
+                g.advance_watermark(key.clone(), now.as_micros(), size, step, delete_used, now, &mut out);
+            }
+            (GroupState::Wave(g), Kind::Wave) => {
+                g.poll(key.clone(), timeout, now, &mut out);
+            }
+            _ => unreachable!(),
+        }
+        self.pending = (self.pending as i64 + out.pending_delta) as usize;
+    }
+
+    /// Earliest poll time at which one group could produce.
+    fn group_deadline_of(&self, key: &Token) -> Option<Timestamp> {
+        let timeout = self.spec.timeout;
+        let group = self.groups.get(key)?;
+        match (group, self.kind) {
+            (GroupState::Tuples(g), Kind::Tuples { .. }) => {
+                let t = timeout?;
+                let from = (g.next_start.saturating_sub(g.front_seq)) as usize;
+                g.events.get(from).map(|e| e.timestamp.plus(t))
+            }
+            (GroupState::Time(g), Kind::Time { size, step }) => {
+                let first = g.events.front()?;
+                // Close time of the first non-empty window still open.
+                let ts = first.timestamp.as_micros();
+                let k_lo = if ts < size { 0 } else { (ts - size) / step + 1 };
+                let k = g.next_k.max(k_lo);
+                let mut best = Timestamp(k * step + size);
+                if let Some(t) = timeout {
+                    best = best.min(first.timestamp.plus(t));
+                }
+                Some(best)
+            }
+            (GroupState::Wave(g), Kind::Wave) => {
+                let t = timeout?;
+                g.waves
+                    .values()
+                    .filter_map(|(_, events)| events.first())
+                    .map(|e| e.timestamp.plus(t))
+                    .min()
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Recompute one group's entry in the deadline index.
+    fn refresh_deadline(&mut self, key: &Token) {
+        let new = self.group_deadline_of(key);
+        let old = self.group_deadline.get(key).copied();
+        if new == old {
+            return;
+        }
+        if let Some(old) = old {
+            if let Some(keys) = self.deadline_index.get_mut(&old) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    self.deadline_index.remove(&old);
+                }
+            }
+            self.group_deadline.remove(key);
+        }
+        if let Some(new) = new {
+            self.deadline_index.entry(new).or_default().push(key.clone());
+            self.group_deadline.insert(key.clone(), new);
+        }
+    }
+
+    /// Advance director time: close any windows whose boundary or formation
+    /// timeout has passed. Returns how many windows were produced.
+    ///
+    /// For time windows this treats `now` as a watermark (processing time
+    /// drives event-time closure, which is exact in virtual-time runs where
+    /// sources release events at their timestamps). For tuple and wave
+    /// windows only the explicit formation timeout applies.
+    pub fn poll(&mut self, now: Timestamp) -> usize {
+        let produced_before = self.ready.len();
+        loop {
+            let due: Option<Timestamp> = self
+                .deadline_index
+                .keys()
+                .next()
+                .copied()
+                .filter(|t| *t <= now);
+            let Some(t) = due else { break };
+            let keys = self.deadline_index.remove(&t).expect("first key exists");
+            for key in &keys {
+                self.group_deadline.remove(key);
+            }
+            for key in keys {
+                self.poll_group(&key, now);
+                self.refresh_deadline(&key);
+            }
+        }
+        self.ready.len() - produced_before
+    }
+
+    /// The earliest director time at which [`WindowOperator::poll`] could
+    /// produce a window, if any events are buffered. Directors register a
+    /// "window timeout event" at this time (paper §3, TM Windowed Receiver).
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.deadline_index.keys().next().copied()
+    }
+
+    /// End-of-stream: force every buffered event out in final windows.
+    ///
+    /// Tuple and wave groups emit their remainders as short (`timed_out`)
+    /// windows; time groups close every window containing buffered events
+    /// (their content is final once the stream ends, so they are not marked
+    /// timed-out). Returns how many windows were produced.
+    pub fn flush(&mut self, now: Timestamp) -> usize {
+        let produced_before = self.ready.len();
+        let kind = self.kind;
+        let delete_used = self.spec.delete_used_events;
+        for key in &self.group_order {
+            let Some(group) = self.groups.get_mut(key) else {
+                continue;
+            };
+            let mut out = Emitted {
+                ready: &mut self.ready,
+                expired: &mut self.expired,
+                pending_delta: 0,
+            };
+            match (group, kind) {
+                (GroupState::Tuples(g), Kind::Tuples { .. }) => {
+                    loop {
+                        let from = (g.next_start.saturating_sub(g.front_seq)) as usize;
+                        if from >= g.events.len() {
+                            break;
+                        }
+                        let events: Vec<CwEvent> = g.events.iter().skip(from).cloned().collect();
+                        let count = events.len();
+                        out.emit(key.clone(), events, now, true);
+                        g.next_start += count as u64;
+                        while g.front_seq < g.next_start {
+                            match g.events.pop_front() {
+                                Some(ev) => {
+                                    out.expire(ev);
+                                    g.front_seq += 1;
+                                }
+                                None => {
+                                    g.front_seq = g.next_start;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                (GroupState::Time(g), Kind::Time { size, step }) => {
+                    if let Some(last) = g.events.back() {
+                        let last_ts = last.timestamp.as_micros();
+                        // Close through the last window containing the last
+                        // buffered event.
+                        let k_hi = last_ts / step;
+                        let final_watermark = k_hi * step + size;
+                        g.advance_watermark(
+                            key.clone(),
+                            final_watermark,
+                            size,
+                            step,
+                            delete_used,
+                            now,
+                            &mut out,
+                        );
+                        // Whatever remains buffered can never be emitted
+                        // again (stream is over): expire it.
+                        while let Some(ev) = g.events.pop_front() {
+                            out.expire(ev);
+                        }
+                    }
+                }
+                (GroupState::Wave(g), Kind::Wave) => {
+                    let origins: Vec<Timestamp> = g.waves.keys().copied().collect();
+                    for origin in origins {
+                        let (_, events) = g.waves.remove(&origin).expect("key collected");
+                        out.pending_delta -= events.len() as i64;
+                        out.emit(key.clone(), events, now, true);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            self.pending = (self.pending as i64 + out.pending_delta) as usize;
+        }
+        // Everything buffered has been emitted or expired: no deadlines
+        // remain.
+        self.deadline_index.clear();
+        self.group_deadline.clear();
+        self.ready.len() - produced_before
+    }
+
+    /// Take the next ready window, if any.
+    pub fn pop_window(&mut self) -> Option<Window> {
+        self.ready.pop_front()
+    }
+
+    /// Number of formed windows awaiting consumption.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of events buffered in group queues (not yet in any emitted
+    /// window for consuming specs).
+    pub fn pending_events(&self) -> usize {
+        self.pending
+    }
+
+    /// Drain the expired-items queue (optionally handled by another
+    /// workflow activity).
+    pub fn drain_expired(&mut self) -> Vec<CwEvent> {
+        self.expired.drain(..).collect()
+    }
+
+    /// Number of expired events awaiting drainage.
+    pub fn expired_len(&self) -> usize {
+        self.expired.len()
+    }
+}
+
+/// Emission sink threaded through group-state methods.
+struct Emitted<'a> {
+    ready: &'a mut VecDeque<Window>,
+    expired: &'a mut VecDeque<CwEvent>,
+    /// Net change to the operator's pending-event count produced by the
+    /// call (removals are negative), excluding the pushed event itself.
+    pending_delta: i64,
+}
+
+impl Emitted<'_> {
+    fn emit(&mut self, group: Token, events: Vec<CwEvent>, now: Timestamp, timed_out: bool) {
+        self.ready.push_back(Window {
+            group,
+            events,
+            formed_at: now,
+            timed_out,
+        });
+    }
+
+    fn expire(&mut self, event: CwEvent) {
+        self.expired.push_back(event);
+        self.pending_delta -= 1;
+    }
+}
+
+impl TupleGroup {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        event: CwEvent,
+        key: Token,
+        size: usize,
+        step: usize,
+        delete_used: bool,
+        now: Timestamp,
+        out: &mut Emitted<'_>,
+    ) {
+        self.events.push_back(event);
+        self.next_seq += 1;
+        self.try_emit(key, size, step, delete_used, now, out);
+    }
+
+    /// Emit every full window currently formable.
+    fn try_emit(
+        &mut self,
+        key: Token,
+        size: usize,
+        step: usize,
+        delete_used: bool,
+        now: Timestamp,
+        out: &mut Emitted<'_>,
+    ) {
+        // The next window covers sequences [next_start, next_start + size).
+        while self.next_seq >= self.next_start + size as u64 {
+            let from = (self.next_start - self.front_seq) as usize;
+            let events: Vec<CwEvent> = self
+                .events
+                .iter()
+                .skip(from)
+                .take(size)
+                .cloned()
+                .collect();
+            out.emit(key.clone(), events, now, false);
+            self.advance(size, step, delete_used, out);
+        }
+    }
+
+    fn advance(&mut self, size: usize, step: usize, delete_used: bool, out: &mut Emitted<'_>) {
+        let hop = if delete_used { step.max(size) } else { step } as u64;
+        self.next_start += hop;
+        while self.front_seq < self.next_start {
+            if let Some(ev) = self.events.pop_front() {
+                out.expire(ev);
+                self.front_seq += 1;
+            } else {
+                // No buffered events below next_start (short/timed-out
+                // window advanced past the whole buffer).
+                self.front_seq = self.next_start;
+                break;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn poll(
+        &mut self,
+        key: Token,
+        size: usize,
+        step: usize,
+        delete_used: bool,
+        timeout: Option<Micros>,
+        now: Timestamp,
+        out: &mut Emitted<'_>,
+    ) {
+        let Some(timeout) = timeout else { return };
+        // A partial window times out when its first event has waited too long.
+        loop {
+            let from = (self.next_start.saturating_sub(self.front_seq)) as usize;
+            let Some(first) = self.events.get(from) else {
+                return;
+            };
+            if now < first.timestamp.plus(timeout) {
+                return;
+            }
+            let available = self.events.len() - from;
+            if available >= size {
+                // A full window is formable; emit it normally.
+                self.try_emit(key.clone(), size, step, delete_used, now, out);
+                continue;
+            }
+            let events: Vec<CwEvent> = self.events.iter().skip(from).cloned().collect();
+            let count = events.len();
+            out.emit(key.clone(), events, now, true);
+            // Advance past everything emitted so the same short window is
+            // not re-emitted on the next poll.
+            self.next_start += count as u64;
+            while self.front_seq < self.next_start {
+                if let Some(ev) = self.events.pop_front() {
+                    out.expire(ev);
+                    self.front_seq += 1;
+                } else {
+                    self.front_seq = self.next_start;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl TimeGroup {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        event: CwEvent,
+        key: Token,
+        size: u64,
+        step: u64,
+        delete_used: bool,
+        now: Timestamp,
+        out: &mut Emitted<'_>,
+    ) {
+        let ts = event.timestamp.as_micros();
+        if ts < self.next_k * step {
+            // Late event: every window it could join has already closed.
+            out.expire(event);
+            // (The pushed event was counted as +1 pending by the caller;
+            // expire() balances it back out.)
+            return;
+        }
+        // Insert keeping the buffer sorted by event time (arrivals are
+        // near-sorted, so this is cheap).
+        let pos = self
+            .events
+            .iter()
+            .rposition(|e| e.timestamp.as_micros() <= ts)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        self.events.insert(pos, event);
+        self.advance_watermark(key, ts, size, step, delete_used, now, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn advance_watermark(
+        &mut self,
+        key: Token,
+        watermark: u64,
+        size: u64,
+        step: u64,
+        delete_used: bool,
+        now: Timestamp,
+        out: &mut Emitted<'_>,
+    ) {
+        self.watermark = self.watermark.max(watermark);
+        // Close every window whose end has passed the watermark.
+        loop {
+            let lo = self.next_k * step;
+            let hi = lo + size;
+            if hi > self.watermark {
+                break;
+            }
+            match self.events.front() {
+                None => {
+                    // Every closable window is empty: skip them all at once.
+                    self.next_k = (self.watermark - size) / step + 1;
+                    break;
+                }
+                Some(front) => {
+                    let fts = front.timestamp.as_micros();
+                    if fts >= hi {
+                        // Current window is empty (buffer is sorted): jump
+                        // to the first window containing the front event.
+                        let k_lo = if fts < size { 0 } else { (fts - size) / step + 1 };
+                        debug_assert!(k_lo > self.next_k);
+                        self.next_k = k_lo;
+                        continue;
+                    }
+                }
+            }
+            let events: Vec<CwEvent> = self
+                .events
+                .iter()
+                .filter(|e| {
+                    let t = e.timestamp.as_micros();
+                    t >= lo && t < hi
+                })
+                .cloned()
+                .collect();
+            if !events.is_empty() {
+                out.emit(key.clone(), events, now, false);
+            }
+            self.next_k += if delete_used {
+                // Consumed events may not appear in a later window: hop a
+                // whole window's worth of steps.
+                size.div_ceil(step)
+            } else {
+                1
+            };
+            // Expire events no future window can cover.
+            let cutoff = self.next_k * step;
+            while self
+                .events
+                .front()
+                .is_some_and(|e| e.timestamp.as_micros() < cutoff)
+            {
+                let ev = self.events.pop_front().expect("checked front");
+                out.expire(ev);
+            }
+        }
+    }
+}
+
+impl WaveGroup {
+    fn push(&mut self, event: CwEvent, key: Token, now: Timestamp, out: &mut Emitted<'_>) {
+        let origin = event.wave.origin();
+        let entry = self
+            .waves
+            .entry(origin)
+            .or_insert_with(|| (WaveTracker::new(), Vec::new()));
+        entry.0.observe(&event.wave);
+        entry.1.push(event);
+        if entry.0.is_complete() {
+            let (_, events) = self.waves.remove(&origin).expect("entry exists");
+            out.pending_delta -= events.len() as i64;
+            out.emit(key, events, now, false);
+        }
+    }
+
+    fn poll(&mut self, key: Token, timeout: Option<Micros>, now: Timestamp, out: &mut Emitted<'_>) {
+        let Some(timeout) = timeout else { return };
+        let stale: Vec<Timestamp> = self
+            .waves
+            .iter()
+            .filter(|(_, (_, events))| {
+                events
+                    .first()
+                    .is_some_and(|e| now >= e.timestamp.plus(timeout))
+            })
+            .map(|(o, _)| *o)
+            .collect();
+        for origin in stale {
+            let (_, events) = self.waves.remove(&origin).expect("collected above");
+            out.pending_delta -= events.len() as i64;
+            out.emit(key.clone(), events, now, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{GroupBy, WindowSpec};
+
+    fn ev(val: i64, ts: u64) -> CwEvent {
+        CwEvent::external(Token::Int(val), Timestamp(ts))
+    }
+
+    fn rec_ev(car: i64, val: i64, ts: u64) -> CwEvent {
+        CwEvent::external(
+            Token::record().field("carid", car).field("v", val).build(),
+            Timestamp(ts),
+        )
+    }
+
+    fn values(w: &Window) -> Vec<i64> {
+        w.tokens().map(|t| t.as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn sliding_tuple_window() {
+        // {Size: 4, Step: 1} — the stopped-car detection shape.
+        let mut op = WindowOperator::new(WindowSpec::tuples(4, 1)).unwrap();
+        for i in 0..4 {
+            op.push(ev(i, i as u64), Timestamp(i as u64)).unwrap();
+        }
+        let w = op.pop_window().expect("first window after 4 events");
+        assert_eq!(values(&w), vec![0, 1, 2, 3]);
+        assert!(op.pop_window().is_none());
+        op.push(ev(4, 4), Timestamp(4)).unwrap();
+        let w = op.pop_window().expect("window slides by 1");
+        assert_eq!(values(&w), vec![1, 2, 3, 4]);
+        // Sliding by one expires exactly one event per window.
+        assert_eq!(op.drain_expired().len(), 2);
+    }
+
+    #[test]
+    fn tumbling_tuple_window_with_delete_used() {
+        let spec = WindowSpec::tuples(2, 1).delete_used(true);
+        let mut op = WindowOperator::new(spec).unwrap();
+        for i in 0..6 {
+            op.push(ev(i, i as u64), Timestamp(i as u64)).unwrap();
+        }
+        // delete_used consumes whole windows: [0,1], [2,3], [4,5].
+        assert_eq!(values(&op.pop_window().unwrap()), vec![0, 1]);
+        assert_eq!(values(&op.pop_window().unwrap()), vec![2, 3]);
+        assert_eq!(values(&op.pop_window().unwrap()), vec![4, 5]);
+        assert!(op.pop_window().is_none());
+        assert_eq!(op.pending_events(), 0);
+        assert_eq!(op.expired_len(), 6);
+    }
+
+    #[test]
+    fn each_event_window() {
+        let mut op = WindowOperator::new(WindowSpec::each_event()).unwrap();
+        let n = op.push(ev(7, 1), Timestamp(1)).unwrap();
+        assert_eq!(n, 1);
+        let w = op.pop_window().unwrap();
+        assert_eq!(values(&w), vec![7]);
+        assert_eq!(op.pending_events(), 0);
+    }
+
+    #[test]
+    fn grouped_tuple_windows() {
+        // {Size: 2, Step: 1, Group-by: carid} — toll-calculation shape.
+        let spec = WindowSpec::tuples(2, 1).group_by(GroupBy::fields(&["carid"]));
+        let mut op = WindowOperator::new(spec).unwrap();
+        op.push(rec_ev(1, 10, 0), Timestamp(0)).unwrap();
+        op.push(rec_ev(2, 20, 1), Timestamp(1)).unwrap();
+        assert!(op.pop_window().is_none(), "one event per car: no window");
+        op.push(rec_ev(1, 11, 2), Timestamp(2)).unwrap();
+        let w = op.pop_window().expect("car 1 has two reports");
+        assert_eq!(w.group, Token::record().field("carid", 1).build());
+        assert_eq!(
+            w.tokens().map(|t| t.int_field("v").unwrap()).collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+        op.push(rec_ev(2, 21, 3), Timestamp(3)).unwrap();
+        let w = op.pop_window().expect("car 2 has two reports");
+        assert_eq!(w.group, Token::record().field("carid", 2).build());
+    }
+
+    #[test]
+    fn group_key_error_propagates() {
+        let spec = WindowSpec::tuples(1, 1).group_by(GroupBy::fields(&["x"]));
+        let mut op = WindowOperator::new(spec).unwrap();
+        assert!(op.push(ev(1, 0), Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn tuple_timeout_produces_short_window() {
+        let spec = WindowSpec::tuples(4, 4).with_timeout(Micros(100));
+        let mut op = WindowOperator::new(spec).unwrap();
+        op.push(ev(1, 10), Timestamp(10)).unwrap();
+        op.push(ev(2, 20), Timestamp(20)).unwrap();
+        assert_eq!(op.poll(Timestamp(50)), 0, "timeout not reached");
+        assert_eq!(op.next_deadline(), Some(Timestamp(110)));
+        assert_eq!(op.poll(Timestamp(110)), 1, "forced short window");
+        let w = op.pop_window().unwrap();
+        assert!(w.timed_out);
+        assert_eq!(values(&w), vec![1, 2]);
+        // The short window advanced past its events: no re-emission.
+        assert_eq!(op.poll(Timestamp(500)), 0);
+        assert_eq!(op.pending_events(), 0);
+    }
+
+    #[test]
+    fn tuple_timeout_prefers_full_window() {
+        let spec = WindowSpec::tuples(2, 2).with_timeout(Micros(100));
+        let mut op = WindowOperator::new(spec).unwrap();
+        op.push(ev(1, 0), Timestamp(0)).unwrap();
+        op.push(ev(2, 1), Timestamp(1)).unwrap();
+        // Window already emitted by push; poll after timeout adds nothing.
+        assert_eq!(op.ready_len(), 1);
+        assert_eq!(op.poll(Timestamp(1000)), 0);
+    }
+
+    #[test]
+    fn tumbling_time_window() {
+        // {Size: 1 min, Step: 1 min} — segment-statistics shape (µs scaled
+        // down to 100 for the test).
+        let mut op = WindowOperator::new(WindowSpec::time(Micros(100), Micros(100))).unwrap();
+        op.push(ev(1, 10), Timestamp(10)).unwrap();
+        op.push(ev(2, 60), Timestamp(60)).unwrap();
+        assert!(op.pop_window().is_none(), "window [0,100) still open");
+        op.push(ev(3, 120), Timestamp(120)).unwrap();
+        let w = op.pop_window().expect("event at 120 closes [0,100)");
+        assert_eq!(values(&w), vec![1, 2]);
+        op.push(ev(4, 205), Timestamp(205)).unwrap();
+        let w = op.pop_window().expect("event at 205 closes [100,200)");
+        assert_eq!(values(&w), vec![3]);
+    }
+
+    #[test]
+    fn sliding_time_window_overlap() {
+        // size 100, step 50 → event at t=60 appears in windows [0,100) and [50,150).
+        let mut op = WindowOperator::new(WindowSpec::time(Micros(100), Micros(50))).unwrap();
+        op.push(ev(1, 60), Timestamp(60)).unwrap();
+        op.push(ev(2, 160), Timestamp(160)).unwrap();
+        let w1 = op.pop_window().expect("[0,100) closed at watermark 160");
+        assert_eq!(values(&w1), vec![1]);
+        let w2 = op.pop_window().expect("[50,150) closed at watermark 160");
+        assert_eq!(values(&w2), vec![1]);
+        assert!(op.pop_window().is_none());
+    }
+
+    #[test]
+    fn time_window_delete_used_consumes() {
+        let spec = WindowSpec::time(Micros(100), Micros(50)).delete_used(true);
+        let mut op = WindowOperator::new(spec).unwrap();
+        op.push(ev(1, 60), Timestamp(60)).unwrap();
+        op.push(ev(2, 160), Timestamp(160)).unwrap();
+        let w1 = op.pop_window().expect("[0,100) closes");
+        assert_eq!(values(&w1), vec![1]);
+        assert!(
+            op.pop_window().is_none(),
+            "delete_used: event 1 consumed, window [50,150) skipped"
+        );
+    }
+
+    #[test]
+    fn time_window_poll_closes_by_clock() {
+        let mut op = WindowOperator::new(WindowSpec::tumbling_time(Micros(100))).unwrap();
+        op.push(ev(1, 10), Timestamp(10)).unwrap();
+        assert_eq!(op.next_deadline(), Some(Timestamp(100)));
+        assert_eq!(op.poll(Timestamp(99)), 0);
+        assert_eq!(op.poll(Timestamp(100)), 1, "clock reaching boundary closes window");
+        let w = op.pop_window().unwrap();
+        assert_eq!(values(&w), vec![1]);
+    }
+
+    #[test]
+    fn time_window_late_event_expires() {
+        let mut op = WindowOperator::new(WindowSpec::tumbling_time(Micros(100))).unwrap();
+        op.push(ev(1, 150), Timestamp(150)).unwrap();
+        op.poll(Timestamp(200)); // closes [100,200) → window with event 1
+        assert_eq!(op.pop_window().map(|w| values(&w)), Some(vec![1]));
+        op.push(ev(9, 50), Timestamp(201)).unwrap();
+        assert_eq!(op.pop_window(), None);
+        let expired = op.drain_expired();
+        assert_eq!(expired.len(), 2, "consumed event 1 + late event 9");
+        assert_eq!(op.pending_events(), 0);
+    }
+
+    #[test]
+    fn time_window_empty_windows_skipped() {
+        let mut op = WindowOperator::new(WindowSpec::tumbling_time(Micros(10))).unwrap();
+        op.push(ev(1, 5), Timestamp(5)).unwrap();
+        op.push(ev(2, 1000), Timestamp(1000)).unwrap();
+        // Only the two non-empty windows emit; the ~98 empty ones are skipped.
+        assert_eq!(op.ready_len(), 1);
+        assert_eq!(values(&op.pop_window().unwrap()), vec![1]);
+        op.poll(Timestamp(1010));
+        assert_eq!(values(&op.pop_window().unwrap()), vec![2]);
+        assert!(op.pop_window().is_none());
+    }
+
+    #[test]
+    fn wave_window_completes_on_last_marks() {
+        use crate::wave::WaveTag;
+        let mut op = WindowOperator::new(WindowSpec::wave()).unwrap();
+        let root = WaveTag::external(Timestamp(5));
+        let e1 = CwEvent::derived(Token::Int(1), Timestamp(6), &root, 1, false);
+        let e2 = CwEvent::derived(Token::Int(2), Timestamp(7), &root, 2, true);
+        op.push(e1, Timestamp(6)).unwrap();
+        assert!(op.pop_window().is_none());
+        op.push(e2, Timestamp(7)).unwrap();
+        let w = op.pop_window().expect("wave complete");
+        assert_eq!(values(&w), vec![1, 2]);
+        assert_eq!(op.pending_events(), 0);
+    }
+
+    #[test]
+    fn wave_window_timeout_flushes_incomplete_wave() {
+        use crate::wave::WaveTag;
+        let spec = WindowSpec::wave().with_timeout(Micros(50));
+        let mut op = WindowOperator::new(spec).unwrap();
+        let root = WaveTag::external(Timestamp(5));
+        let e1 = CwEvent::derived(Token::Int(1), Timestamp(6), &root, 1, false);
+        op.push(e1, Timestamp(6)).unwrap();
+        assert_eq!(op.next_deadline(), Some(Timestamp(56)));
+        assert_eq!(op.poll(Timestamp(56)), 1);
+        let w = op.pop_window().unwrap();
+        assert!(w.timed_out);
+        assert_eq!(values(&w), vec![1]);
+    }
+
+    #[test]
+    fn interleaved_waves_form_separate_windows() {
+        let mut op = WindowOperator::new(WindowSpec::wave()).unwrap();
+        // Two external events, each its own wave of one.
+        op.push(ev(1, 10), Timestamp(10)).unwrap();
+        op.push(ev(2, 20), Timestamp(20)).unwrap();
+        assert_eq!(op.ready_len(), 2);
+        assert_eq!(values(&op.pop_window().unwrap()), vec![1]);
+        assert_eq!(values(&op.pop_window().unwrap()), vec![2]);
+    }
+
+    #[test]
+    fn pending_and_ready_counters() {
+        let mut op = WindowOperator::new(WindowSpec::tuples(3, 3)).unwrap();
+        op.push(ev(1, 0), Timestamp(0)).unwrap();
+        op.push(ev(2, 1), Timestamp(1)).unwrap();
+        assert_eq!(op.pending_events(), 2);
+        assert_eq!(op.ready_len(), 0);
+        op.push(ev(3, 2), Timestamp(2)).unwrap();
+        assert_eq!(op.ready_len(), 1);
+        // step == size without delete_used expires the whole window content.
+        assert_eq!(op.pending_events(), 0);
+    }
+
+    #[test]
+    fn flush_forces_out_tuple_remainders() {
+        let spec = WindowSpec::tuples(4, 4).group_by(GroupBy::fields(&["carid"]));
+        let mut op = WindowOperator::new(spec).unwrap();
+        op.push(rec_ev(1, 10, 0), Timestamp(0)).unwrap();
+        op.push(rec_ev(2, 20, 1), Timestamp(1)).unwrap();
+        op.push(rec_ev(1, 11, 2), Timestamp(2)).unwrap();
+        assert_eq!(op.ready_len(), 0);
+        assert_eq!(op.flush(Timestamp(10)), 2, "one short window per group");
+        let w1 = op.pop_window().unwrap();
+        let w2 = op.pop_window().unwrap();
+        assert!(w1.timed_out && w2.timed_out);
+        assert_eq!(w1.len() + w2.len(), 3);
+        assert_eq!(op.pending_events(), 0);
+        // Flushing again is a no-op.
+        assert_eq!(op.flush(Timestamp(11)), 0);
+    }
+
+    #[test]
+    fn flush_closes_time_windows() {
+        let mut op = WindowOperator::new(WindowSpec::tumbling_time(Micros(100))).unwrap();
+        op.push(ev(1, 10), Timestamp(10)).unwrap();
+        op.push(ev(2, 110), Timestamp(110)).unwrap();
+        assert_eq!(op.ready_len(), 1, "[0,100) closed by watermark");
+        assert_eq!(op.flush(Timestamp(120)), 1, "[100,200) forced closed");
+        op.pop_window().unwrap();
+        let w = op.pop_window().unwrap();
+        assert_eq!(values(&w), vec![2]);
+        assert!(!w.timed_out, "end-of-stream content is final");
+        assert_eq!(op.pending_events(), 0);
+    }
+
+    #[test]
+    fn flush_emits_incomplete_waves() {
+        use crate::wave::WaveTag;
+        let mut op = WindowOperator::new(WindowSpec::wave()).unwrap();
+        let root = WaveTag::external(Timestamp(5));
+        op.push(
+            CwEvent::derived(Token::Int(1), Timestamp(6), &root, 1, false),
+            Timestamp(6),
+        )
+        .unwrap();
+        assert_eq!(op.flush(Timestamp(10)), 1);
+        assert!(op.pop_window().unwrap().timed_out);
+    }
+
+    #[test]
+    fn deadline_none_when_empty_or_no_timeout() {
+        let op = WindowOperator::new(WindowSpec::tuples(4, 1)).unwrap();
+        assert_eq!(op.next_deadline(), None);
+        let mut op = WindowOperator::new(WindowSpec::tuples(4, 1).with_timeout(Micros(10))).unwrap();
+        assert_eq!(op.next_deadline(), None);
+        op.push(ev(1, 3), Timestamp(3)).unwrap();
+        assert_eq!(op.next_deadline(), Some(Timestamp(13)));
+    }
+}

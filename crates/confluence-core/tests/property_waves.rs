@@ -1,0 +1,116 @@
+//! Property tests of wave-tag algebra and wave-completion tracking.
+
+use proptest::prelude::*;
+
+use confluence_core::time::Timestamp;
+use confluence_core::wave::{WaveTag, WaveTracker};
+
+/// A recipe for a random wave tree: at each level, how many children each
+/// expanded node gets (bounded to keep trees small).
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    /// Children of the root firing.
+    root_children: u8,
+    /// For each root child index (cyclically), how many grandchildren it
+    /// spawns (0 = stays a leaf).
+    expansion: Vec<u8>,
+}
+
+fn tree_spec() -> impl Strategy<Value = TreeSpec> {
+    (1u8..6, prop::collection::vec(0u8..4, 1..6)).prop_map(|(root_children, expansion)| TreeSpec {
+        root_children,
+        expansion,
+    })
+}
+
+/// Materialize the leaves a consumer would observe for a spec.
+fn leaves(spec: &TreeSpec) -> Vec<WaveTag> {
+    let root = WaveTag::external(Timestamp(1));
+    let mut out = Vec::new();
+    for i in 1..=spec.root_children {
+        let child = root.child(i as u32, i == spec.root_children);
+        let n_grand = spec.expansion[(i as usize - 1) % spec.expansion.len()];
+        if n_grand == 0 {
+            out.push(child);
+        } else {
+            for j in 1..=n_grand {
+                out.push(child.child(j as u32, j == n_grand));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Tag ordering is a total order consistent with lexicographic paths.
+    #[test]
+    fn ordering_is_total_and_antisymmetric(spec in tree_spec()) {
+        let tags = leaves(&spec);
+        for a in &tags {
+            for b in &tags {
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                prop_assert_eq!(ab, ba.reverse());
+                prop_assert_eq!(ab == std::cmp::Ordering::Equal, a == b);
+            }
+        }
+    }
+
+    /// A tracker fed every leaf of a wave — in any order — reports
+    /// completion; fed any strict subset, it does not.
+    #[test]
+    fn tracker_complete_iff_all_leaves_seen(
+        spec in tree_spec(),
+        order in prop::collection::vec(0usize..64, 0..64),
+        drop_idx in 0usize..64,
+    ) {
+        let mut tags = leaves(&spec);
+        // Shuffle deterministically by the generated order.
+        for (i, &swap) in order.iter().enumerate() {
+            if !tags.is_empty() {
+                let a = i % tags.len();
+                let b = swap % tags.len();
+                tags.swap(a, b);
+            }
+        }
+        // All leaves → complete.
+        let mut tr = WaveTracker::new();
+        for t in &tags {
+            tr.observe(t);
+        }
+        prop_assert!(tr.is_complete(), "all leaves observed");
+        prop_assert_eq!(tr.observed(), tags.len());
+
+        // Any one missing → incomplete.
+        if tags.len() > 1 {
+            let skip = drop_idx % tags.len();
+            let mut tr = WaveTracker::new();
+            for (i, t) in tags.iter().enumerate() {
+                if i != skip {
+                    tr.observe(t);
+                }
+            }
+            prop_assert!(!tr.is_complete(), "missing leaf {skip} must block");
+        }
+    }
+
+    /// Ancestry: the external tag is an ancestor of every leaf; no leaf is
+    /// an ancestor of another leaf from a different branch.
+    #[test]
+    fn ancestry_laws(spec in tree_spec()) {
+        let root = WaveTag::external(Timestamp(1));
+        let tags = leaves(&spec);
+        for t in &tags {
+            prop_assert!(root.is_ancestor_of(t));
+            prop_assert!(!t.is_ancestor_of(&root));
+            prop_assert!(t.same_wave(&root));
+        }
+        for a in &tags {
+            for b in &tags {
+                if a != b && a.path()[0].index != b.path()[0].index {
+                    prop_assert!(!a.is_ancestor_of(b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Calibrated virtual-time cost models for the Linear Road actors.
+//!
+//! The paper measures wall-clock costs of Kepler's off-the-shelf actors on
+//! its own testbed; in virtual time we model them. The constants below are
+//! calibrated so that the *shape* of the paper's Figure 8 reproduces:
+//!
+//! * total service demand per position report for the STAFiLOS executor
+//!   ≈ 6.8 ms → capacity ≈ 147 updates/s → with the Figure 5 ramp
+//!   (10 → 200 updates/s over 600 s) saturation around t ≈ 430 s (the
+//!   paper observes ~440 s at ~160 updates/s);
+//! * the simulated thread-based baseline pays a context switch per firing
+//!   and synchronization per event, pushing demand to ≈ 8.5 ms →
+//!   capacity ≈ 118 updates/s → saturation around t ≈ 340 s (the paper
+//!   observes ~320 s at ~120 updates/s).
+//!
+//! The dominant costs are the store-backed actors (toll calculation and
+//! accident notification issue relational queries per report), mirroring
+//! the paper's observation that its off-the-shelf actors lack the
+//! performance optimizations of CQ operators.
+
+use confluence_core::time::Micros;
+use confluence_sched::cost::{TableCostModel, ThreadOverheadCost};
+
+/// Per-actor cost table for the STAFiLOS (cooperative) executor.
+pub fn staf_cost_model() -> TableCostModel {
+    TableCostModel::uniform(Micros(150), Micros(20))
+        .with_actor("source", Micros(30), Micros(15))
+        .with_actor("StoppedCarDetection", Micros(900), Micros(10))
+        .with_actor("AccidentDetection", Micros(350), Micros(10))
+        .with_actor("InsertAccident", Micros(400), Micros(10))
+        .with_actor("AccidentNotification", Micros(1_800), Micros(10))
+        .with_actor("AccidentNotificationOut", Micros(120), Micros(5))
+        .with_actor("Avgsv", Micros(350), Micros(40))
+        .with_actor("Avgs", Micros(300), Micros(30))
+        .with_actor("SpeedWriter", Micros(180), Micros(10))
+        .with_actor("cars", Micros(350), Micros(40))
+        .with_actor("CarsWriter", Micros(180), Micros(10))
+        .with_actor("TollCalculation", Micros(3_900), Micros(10))
+        .with_actor("TollNotification", Micros(150), Micros(5))
+}
+
+/// The thread-based (PNCWF) baseline: the same work plus thread overheads.
+///
+/// Parameters: 420 µs context switch per firing, 150 µs synchronization
+/// per event moved, effective parallelism 1.0 (the paper's thread-based
+/// director loses its 8-core advantage to contention — its measured
+/// capacity is *below* the single-threaded cooperative executor's, which
+/// is the headline result of Figure 8).
+pub fn pncwf_cost_model() -> ThreadOverheadCost<TableCostModel> {
+    ThreadOverheadCost::new(staf_cost_model(), Micros(420), Micros(130), 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confluence_sched::cost::CostModel;
+
+    #[test]
+    fn toll_calculation_dominates() {
+        let m = staf_cost_model();
+        let toll = m.firing_cost(0, "TollCalculation", 2, 1);
+        let writer = m.firing_cost(0, "SpeedWriter", 1, 0);
+        assert!(toll > writer * 10);
+    }
+
+    #[test]
+    fn pncwf_costs_strictly_higher() {
+        let staf = staf_cost_model();
+        let pncwf = pncwf_cost_model();
+        for name in ["source", "TollCalculation", "Avgsv", "TollNotification"] {
+            let a = staf.firing_cost(0, name, 2, 1);
+            let b = pncwf.firing_cost(0, name, 2, 1);
+            assert!(b > a, "{name}: {b:?} must exceed {a:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_actor_uses_default() {
+        let m = staf_cost_model();
+        assert_eq!(m.firing_cost(0, "whatever", 1, 0), Micros(170));
+    }
+}

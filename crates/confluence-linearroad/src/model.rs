@@ -1,0 +1,230 @@
+//! The Linear Road data model.
+//!
+//! Linear Road simulates a variable-tolling system for the motor-vehicle
+//! expressways of a fictional metropolitan area (paper Appendix A; Arasu
+//! et al., VLDB 2004). The stream consists of car **position reports**:
+//! every car reports its position every 30 seconds, including its
+//! expressway, direction, lane, segment, absolute position, and speed.
+
+use confluence_core::error::Result;
+use confluence_core::time::Timestamp;
+use confluence_core::token::Token;
+
+/// Seconds between consecutive position reports of one car.
+pub const REPORT_INTERVAL_SECS: u64 = 30;
+/// Segments per expressway direction.
+pub const SEGMENTS: i64 = 100;
+/// Feet per segment (one mile).
+pub const SEGMENT_FEET: i64 = 5280;
+/// Number of travel lanes (0 = entry, 1..=3 travel, 4 = exit).
+pub const EXIT_LANE: i64 = 4;
+/// Tolls apply when the latest average velocity is below this (mph).
+pub const TOLL_LAV_THRESHOLD: f64 = 40.0;
+/// Tolls apply when the previous minute had more cars than this.
+pub const TOLL_CAR_THRESHOLD: i64 = 50;
+/// An accident affects this many segments upstream of it.
+pub const ACCIDENT_RANGE_SEGS: i64 = 4;
+/// LAV is the average over this many past minutes.
+pub const LAV_WINDOW_MINUTES: i64 = 5;
+
+/// A car position report (stream record type 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionReport {
+    /// Report time, in seconds since the start of the run.
+    pub time: i64,
+    /// Car identifier.
+    pub carid: i64,
+    /// Current speed in mph.
+    pub speed: f64,
+    /// Expressway id.
+    pub xway: i64,
+    /// Lane (0 entry, 1–3 travel, 4 exit).
+    pub lane: i64,
+    /// Direction (0 = increasing position, 1 = decreasing).
+    pub dir: i64,
+    /// Segment number (0..SEGMENTS).
+    pub seg: i64,
+    /// Absolute position in feet.
+    pub pos: i64,
+}
+
+impl PositionReport {
+    /// The report's minute number (for segment statistics).
+    pub fn minute(&self) -> i64 {
+        self.time / 60
+    }
+
+    /// Whether the car is in the exit lane (excluded from accident
+    /// detection and notification).
+    pub fn in_exit_lane(&self) -> bool {
+        self.lane == EXIT_LANE
+    }
+
+    /// Encode as a workflow record token.
+    pub fn to_token(&self) -> Token {
+        Token::record()
+            .field("time", self.time)
+            .field("carid", self.carid)
+            .field("speed", self.speed)
+            .field("xway", self.xway)
+            .field("lane", self.lane)
+            .field("dir", self.dir)
+            .field("seg", self.seg)
+            .field("pos", self.pos)
+            .build()
+    }
+
+    /// Decode from a workflow record token.
+    pub fn from_token(token: &Token) -> Result<PositionReport> {
+        Ok(PositionReport {
+            time: token.int_field("time")?,
+            carid: token.int_field("carid")?,
+            speed: token.float_field("speed")?,
+            xway: token.int_field("xway")?,
+            lane: token.int_field("lane")?,
+            dir: token.int_field("dir")?,
+            seg: token.int_field("seg")?,
+            pos: token.int_field("pos")?,
+        })
+    }
+
+    /// The stream timestamp at which this report enters the system.
+    pub fn arrival(&self) -> Timestamp {
+        Timestamp::from_secs(self.time as u64)
+    }
+}
+
+/// A toll notification produced by the workflow output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TollNotification {
+    /// Notified car.
+    pub carid: i64,
+    /// Report time that triggered the notification.
+    pub time: i64,
+    /// Segment the car just entered.
+    pub seg: i64,
+    /// The toll charged (0 when conditions do not hold).
+    pub toll: f64,
+}
+
+impl TollNotification {
+    /// Encode as a record token.
+    pub fn to_token(&self) -> Token {
+        Token::record()
+            .field("carid", self.carid)
+            .field("time", self.time)
+            .field("seg", self.seg)
+            .field("toll", self.toll)
+            .build()
+    }
+
+    /// Decode from a record token.
+    pub fn from_token(token: &Token) -> Result<TollNotification> {
+        Ok(TollNotification {
+            carid: token.int_field("carid")?,
+            time: token.int_field("time")?,
+            seg: token.int_field("seg")?,
+            toll: token.float_field("toll")?,
+        })
+    }
+}
+
+/// The variable-toll formula: `2·(cars − 50)²` when the segment was slow
+/// and busy and has no accident nearby, else 0.
+pub fn toll_formula(lav: Option<f64>, cars: Option<i64>, accident_nearby: bool) -> f64 {
+    match (lav, cars) {
+        (Some(lav), Some(cars))
+            if lav < TOLL_LAV_THRESHOLD && cars > TOLL_CAR_THRESHOLD && !accident_nearby =>
+        {
+            2.0 * ((cars - TOLL_CAR_THRESHOLD) as f64).powi(2)
+        }
+        _ => 0.0,
+    }
+}
+
+/// Whether a car at `seg` traveling `dir` is in the notification range of
+/// an accident at `acc_seg` (the paper's SQL range check).
+pub fn accident_in_range(dir: i64, seg: i64, acc_seg: i64) -> bool {
+    if dir == 1 {
+        seg <= acc_seg + ACCIDENT_RANGE_SEGS && seg >= acc_seg
+    } else {
+        seg >= acc_seg - ACCIDENT_RANGE_SEGS && seg <= acc_seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PositionReport {
+        PositionReport {
+            time: 95,
+            carid: 42,
+            speed: 57.5,
+            xway: 0,
+            lane: 2,
+            dir: 0,
+            seg: 17,
+            pos: 17 * SEGMENT_FEET + 100,
+        }
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let r = report();
+        let t = r.to_token();
+        assert_eq!(PositionReport::from_token(&t).unwrap(), r);
+        assert!(PositionReport::from_token(&Token::Int(1)).is_err());
+    }
+
+    #[test]
+    fn derived_fields() {
+        let r = report();
+        assert_eq!(r.minute(), 1);
+        assert!(!r.in_exit_lane());
+        assert_eq!(r.arrival(), Timestamp::from_secs(95));
+        let mut exiting = r;
+        exiting.lane = EXIT_LANE;
+        assert!(exiting.in_exit_lane());
+    }
+
+    #[test]
+    fn toll_notification_round_trip() {
+        let n = TollNotification {
+            carid: 1,
+            time: 2,
+            seg: 3,
+            toll: 128.0,
+        };
+        assert_eq!(TollNotification::from_token(&n.to_token()).unwrap(), n);
+    }
+
+    #[test]
+    fn toll_formula_cases() {
+        // Slow + busy + no accident → charged.
+        assert_eq!(toll_formula(Some(30.0), Some(60), false), 200.0);
+        // Fast segment → free.
+        assert_eq!(toll_formula(Some(50.0), Some(60), false), 0.0);
+        // Few cars → free.
+        assert_eq!(toll_formula(Some(30.0), Some(50), false), 0.0);
+        // Accident nearby → free (cars should exit instead).
+        assert_eq!(toll_formula(Some(30.0), Some(60), true), 0.0);
+        // Missing statistics → free.
+        assert_eq!(toll_formula(None, Some(60), false), 0.0);
+        assert_eq!(toll_formula(Some(30.0), None, false), 0.0);
+    }
+
+    #[test]
+    fn accident_range_matches_paper_sql() {
+        // dir=0: affected segments are [acc−4, acc].
+        assert!(accident_in_range(0, 10, 10));
+        assert!(accident_in_range(0, 6, 10));
+        assert!(!accident_in_range(0, 5, 10));
+        assert!(!accident_in_range(0, 11, 10));
+        // dir=1: affected segments are [acc, acc+4].
+        assert!(accident_in_range(1, 10, 10));
+        assert!(accident_in_range(1, 14, 10));
+        assert!(!accident_in_range(1, 15, 10));
+        assert!(!accident_in_range(1, 9, 10));
+    }
+}

@@ -1,0 +1,288 @@
+//! The relational tables backing the Linear Road workflow.
+//!
+//! The paper's implementation "requires the support of a relational
+//! database to store statistics on the road congestion as well as the
+//! recent accidents detected" (Appendix A). Three tables:
+//!
+//! * `segment_cars(xway, dir, seg, minute, cars)` — cars present per
+//!   segment per minute (toll formula input `numOfCars`);
+//! * `minute_speeds(xway, dir, seg, minute, avg_speed)` — per-minute
+//!   average speed per segment; LAV is the average of the last five;
+//! * `accidents(xway, dir, seg, pos, time, car1, car2)` — detected
+//!   accidents with detection time.
+
+use confluence_core::error::Result;
+use confluence_relstore::expr::{col, lit};
+use confluence_relstore::{Agg, Schema, StoreHandle, Value, ValueType};
+
+use crate::model::{accident_in_range, ACCIDENT_RANGE_SEGS, LAV_WINDOW_MINUTES};
+
+/// Create the three Linear Road tables (with their indexes) in a store.
+pub fn create_tables(store: &StoreHandle) -> Result<()> {
+    store.write(|s| -> Result<()> {
+        s.create_table(
+            "segment_cars",
+            Schema::builder()
+                .column("xway", ValueType::Int)
+                .column("dir", ValueType::Int)
+                .column("seg", ValueType::Int)
+                .column("minute", ValueType::Int)
+                .column("cars", ValueType::Int)
+                .primary_key(&["xway", "dir", "seg", "minute"])
+                .build()?,
+        )?;
+        s.create_table(
+            "minute_speeds",
+            Schema::builder()
+                .column("xway", ValueType::Int)
+                .column("dir", ValueType::Int)
+                .column("seg", ValueType::Int)
+                .column("minute", ValueType::Int)
+                .column("avg_speed", ValueType::Float)
+                .primary_key(&["xway", "dir", "seg", "minute"])
+                .build()?,
+        )?;
+        s.create_table(
+            "accidents",
+            Schema::builder()
+                .column("xway", ValueType::Int)
+                .column("dir", ValueType::Int)
+                .column("seg", ValueType::Int)
+                .column("pos", ValueType::Int)
+                .column("time", ValueType::Int)
+                .column("car1", ValueType::Int)
+                .column("car2", ValueType::Int)
+                .primary_key(&["xway", "dir", "pos", "time"])
+                .build()?,
+        )?;
+        s.table_mut("segment_cars")?.create_index(&["xway", "dir", "seg"])?;
+        // The LAV query is `eq(xway,dir,seg) AND minute BETWEEN m−5 AND
+        // m−1`: an ordered composite index serves it with a range scan.
+        s.table_mut("minute_speeds")?
+            .create_ordered_index(&["xway", "dir", "seg"], "minute")?;
+        // Accident recency checks range on detection time per direction.
+        s.table_mut("accidents")?
+            .create_ordered_index(&["xway", "dir"], "time")?;
+        Ok(())
+    })
+}
+
+/// Upsert the car count of a segment-minute.
+pub fn write_segment_cars(
+    store: &StoreHandle,
+    xway: i64,
+    dir: i64,
+    seg: i64,
+    minute: i64,
+    cars: i64,
+) -> Result<()> {
+    store.write(|s| {
+        s.table_mut("segment_cars")?.upsert(vec![
+            xway.into(),
+            dir.into(),
+            seg.into(),
+            minute.into(),
+            cars.into(),
+        ])?;
+        Ok(())
+    })
+}
+
+/// Upsert the average speed of a segment-minute.
+pub fn write_minute_speed(
+    store: &StoreHandle,
+    xway: i64,
+    dir: i64,
+    seg: i64,
+    minute: i64,
+    avg_speed: f64,
+) -> Result<()> {
+    store.write(|s| {
+        s.table_mut("minute_speeds")?.upsert(vec![
+            xway.into(),
+            dir.into(),
+            seg.into(),
+            minute.into(),
+            avg_speed.into(),
+        ])?;
+        Ok(())
+    })
+}
+
+/// Record a detected accident.
+#[allow(clippy::too_many_arguments)]
+pub fn insert_accident(
+    store: &StoreHandle,
+    xway: i64,
+    dir: i64,
+    seg: i64,
+    pos: i64,
+    time: i64,
+    car1: i64,
+    car2: i64,
+) -> Result<bool> {
+    store.write(|s| {
+        let t = s.table_mut("accidents")?;
+        // The same stalled pair re-triggers detection on every further
+        // report; keep one row per (xway, dir, pos) accident episode.
+        let existing = t.select(Some(
+            &col("xway")
+                .eq(lit(xway))
+                .and(col("dir").eq(lit(dir)))
+                .and(col("pos").eq(lit(pos)))
+                .and(col("time").gt(lit(time - 300))),
+        ))?;
+        if !existing.is_empty() {
+            return Ok(false);
+        }
+        t.insert(vec![
+            xway.into(),
+            dir.into(),
+            seg.into(),
+            pos.into(),
+            time.into(),
+            car1.into(),
+            car2.into(),
+        ])?;
+        Ok(true)
+    })
+}
+
+/// Cars in the segment during `minute` (the toll formula's `numOfCars`).
+pub fn cars_in_segment(
+    store: &StoreHandle,
+    xway: i64,
+    dir: i64,
+    seg: i64,
+    minute: i64,
+) -> Result<Option<i64>> {
+    store.read(|s| {
+        let row = s.table("segment_cars")?.get(&[
+            xway.into(),
+            dir.into(),
+            seg.into(),
+            minute.into(),
+        ]);
+        Ok(match row {
+            Some(r) => Some(r[4].as_int()?),
+            None => None,
+        })
+    })
+}
+
+/// Latest Average Velocity: the mean of the per-minute average speeds over
+/// the five minutes before `minute` (`None` when no statistics exist yet).
+pub fn lav(store: &StoreHandle, xway: i64, dir: i64, seg: i64, minute: i64) -> Result<Option<f64>> {
+    store.read(|s| {
+        let pred = col("xway")
+            .eq(lit(xway))
+            .and(col("dir").eq(lit(dir)))
+            .and(col("seg").eq(lit(seg)))
+            .and(col("minute").between(lit(minute - LAV_WINDOW_MINUTES), lit(minute - 1)));
+        let v = s
+            .table("minute_speeds")?
+            .aggregate(Some(&pred), &Agg::Avg("avg_speed".into()))?;
+        Ok(match v {
+            Value::Null => None,
+            other => Some(other.as_float()?),
+        })
+    })
+}
+
+/// Whether a recent accident (within the last 2 minutes) lies in the
+/// notification range of a car at `seg` traveling `dir` — the paper's toll
+/// query subcondition, and the accident-notification check.
+pub fn accident_nearby(
+    store: &StoreHandle,
+    xway: i64,
+    dir: i64,
+    seg: i64,
+    time: i64,
+) -> Result<Option<i64>> {
+    store.read(|s| {
+        let pred = col("xway")
+            .eq(lit(xway))
+            .and(col("dir").eq(lit(dir)))
+            .and(col("time").ge(lit(time - 120)))
+            .and(col("seg").between(
+                lit(seg - ACCIDENT_RANGE_SEGS),
+                lit(seg + ACCIDENT_RANGE_SEGS),
+            ));
+        let rows = s.table("accidents")?.select(Some(&pred))?;
+        for r in rows {
+            let acc_seg = r[2].as_int()?;
+            if accident_in_range(dir, seg, acc_seg) {
+                return Ok(Some(acc_seg));
+            }
+        }
+        Ok(None)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> StoreHandle {
+        let h = StoreHandle::new();
+        create_tables(&h).unwrap();
+        h
+    }
+
+    #[test]
+    fn tables_created_once() {
+        let h = store();
+        assert!(create_tables(&h).is_err(), "double create rejected");
+        let mut names = h.read(|s| {
+            s.table_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        });
+        names.sort();
+        assert_eq!(names, vec!["accidents", "minute_speeds", "segment_cars"]);
+    }
+
+    #[test]
+    fn segment_cars_round_trip_and_upsert() {
+        let h = store();
+        write_segment_cars(&h, 0, 0, 7, 3, 55).unwrap();
+        assert_eq!(cars_in_segment(&h, 0, 0, 7, 3).unwrap(), Some(55));
+        write_segment_cars(&h, 0, 0, 7, 3, 60).unwrap();
+        assert_eq!(cars_in_segment(&h, 0, 0, 7, 3).unwrap(), Some(60));
+        assert_eq!(cars_in_segment(&h, 0, 0, 7, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn lav_averages_last_five_minutes() {
+        let h = store();
+        for (minute, speed) in [(1, 30.0), (2, 40.0), (3, 50.0)] {
+            write_minute_speed(&h, 0, 0, 7, minute, speed).unwrap();
+        }
+        // At minute 4: minutes −1..3 → mean(30, 40, 50) = 40.
+        assert_eq!(lav(&h, 0, 0, 7, 4).unwrap(), Some(40.0));
+        // At minute 8: minutes 3..7 → only minute 3 (50).
+        assert_eq!(lav(&h, 0, 0, 7, 8).unwrap(), Some(50.0));
+        // At minute 20: nothing in range.
+        assert_eq!(lav(&h, 0, 0, 7, 20).unwrap(), None);
+        // Other segment: nothing.
+        assert_eq!(lav(&h, 0, 0, 9, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn accident_insert_dedup_and_range_query() {
+        let h = store();
+        assert!(insert_accident(&h, 0, 0, 10, 52_900, 100, 1, 2).unwrap());
+        // Re-detection of the same episode is deduplicated.
+        assert!(!insert_accident(&h, 0, 0, 10, 52_900, 130, 1, 2).unwrap());
+        // dir=0 cars in segments [6, 10] are in range.
+        assert_eq!(accident_nearby(&h, 0, 0, 8, 150).unwrap(), Some(10));
+        assert_eq!(accident_nearby(&h, 0, 0, 10, 150).unwrap(), Some(10));
+        assert_eq!(accident_nearby(&h, 0, 0, 5, 150).unwrap(), None);
+        assert_eq!(accident_nearby(&h, 0, 0, 11, 150).unwrap(), None);
+        // Wrong direction: unaffected.
+        assert_eq!(accident_nearby(&h, 0, 1, 8, 150).unwrap(), None);
+        // Stale accidents (older than 2 minutes) no longer notify.
+        assert_eq!(accident_nearby(&h, 0, 0, 8, 400).unwrap(), None);
+    }
+}

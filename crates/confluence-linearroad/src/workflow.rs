@@ -1,0 +1,292 @@
+//! The Linear Road continuous workflow (paper Appendix A, Figure 10).
+//!
+//! Two levels of hierarchy: the top level wires the major tasks under a
+//! continuous-workflow director (STAFiLOS SCWF or the thread-based PNCWF);
+//! selected tasks (detecting stopped cars, detecting accidents) are
+//! sub-workflows wrapped in composite actors governed by DDF directors —
+//! their consumption/production rates are fluid (decision points).
+//!
+//! Three areas: accidents (detection + notification), segment statistics
+//! (LAV + car counts), and tolls (calculation + notification).
+
+use confluence_core::actor::IoSignature;
+use confluence_core::actors::FnActor;
+use confluence_core::actors::TimedSource;
+use confluence_core::director::composite::{CompositeActor, InjectHandle, InnerDirector};
+use confluence_core::error::Result;
+use confluence_core::graph::{Workflow, WorkflowBuilder};
+use confluence_core::time::Micros;
+use confluence_core::window::{GroupBy, WindowSpec};
+use confluence_relstore::StoreHandle;
+use confluence_sched::shedding::{LoadShedder, ShedderHandle};
+
+use crate::actors::{
+    AccidentDetector, AccidentNotifier, AccidentRecorder, CarCounter, CarSpeedAvg,
+    MinuteSpeedWriter, NotificationOutput, SegmentCarsWriter, SegmentSpeedAvg, StoppedCarDetector,
+    TollCalculator,
+};
+use crate::gen::Workload;
+use crate::tables;
+
+/// Construction options.
+#[derive(Debug, Clone)]
+pub struct LrOptions {
+    /// Wrap stopped-car and accident detection in composite sub-workflows
+    /// (the paper's two-level hierarchy). `false` uses flat actors —
+    /// functionally identical, useful for ablations.
+    pub composite_subworkflows: bool,
+    /// Insert an adaptive load shedder after the source targeting this
+    /// response time (paper §4.3: integrated sources can be tuned to shed
+    /// load under overloading situations). `None` = no shedding.
+    pub shed_target: Option<confluence_core::time::Micros>,
+}
+
+impl Default for LrOptions {
+    fn default() -> Self {
+        LrOptions {
+            composite_subworkflows: true,
+            shed_target: None,
+        }
+    }
+}
+
+/// The assembled benchmark: workflow plus its observable outputs.
+pub struct LinearRoad {
+    /// The top-level workflow, ready for any director.
+    pub workflow: Workflow,
+    /// The shared relational store.
+    pub store: StoreHandle,
+    /// TollNotification output (where the paper measures response time).
+    pub toll_output: NotificationOutput,
+    /// AccidentNotificationOut output.
+    pub accident_output: NotificationOutput,
+    /// Load-shedder diagnostics, when shedding was requested.
+    pub shedder: Option<ShedderHandle>,
+}
+
+/// Build the Linear Road workflow over a generated workload.
+pub fn build(workload: &Workload, opts: &LrOptions) -> Result<LinearRoad> {
+    let store = StoreHandle::new();
+    tables::create_tables(&store)?;
+    let toll_output = NotificationOutput::new();
+    let accident_output = NotificationOutput::new();
+
+    let mut b = WorkflowBuilder::new("linear-road");
+    let real_source = b.add_actor("source", TimedSource::new(workload.schedule()));
+    // With shedding enabled, every consumer hangs off the shedder instead
+    // of the raw source.
+    let (source, shedder) = match opts.shed_target {
+        Some(target) => {
+            let (shed, handle) = LoadShedder::new(target);
+            let shed_id = b.add_actor("LoadShedder", shed);
+            b.connect(real_source, "out", shed_id, "in")?;
+            (shed_id, Some(handle))
+        }
+        None => (real_source, None),
+    };
+
+    // --- Accident detection and notification ------------------------------
+    let stopped = if opts.composite_subworkflows {
+        b.add_boxed_actor("StoppedCarDetection", Box::new(stopped_car_composite()?))
+    } else {
+        b.add_actor("StoppedCarDetection", StoppedCarDetector)
+    };
+    let detect = if opts.composite_subworkflows {
+        b.add_boxed_actor("AccidentDetection", Box::new(accident_composite()?))
+    } else {
+        b.add_actor("AccidentDetection", AccidentDetector)
+    };
+    let insert = b.add_actor("InsertAccident", AccidentRecorder::new(store.clone()));
+    let notify = b.add_actor("AccidentNotification", AccidentNotifier::new(store.clone()));
+    let notify_out = b.add_actor("AccidentNotificationOut", accident_output.actor());
+
+    // Stopped cars: the last 4 reports of each car.
+    b.connect_windowed(
+        source,
+        "out",
+        stopped,
+        "in",
+        WindowSpec::tuples(4, 1).group_by(GroupBy::fields(&["carid"])),
+    )?;
+    // Accidents: two stopped-car reports at the same position.
+    b.connect_windowed(
+        stopped,
+        "out",
+        detect,
+        "in",
+        WindowSpec::tuples(2, 1).group_by(GroupBy::fields(&["xway", "dir", "pos"])),
+    )?;
+    b.connect(detect, "out", insert, "in")?;
+    b.connect_windowed(source, "out", notify, "in", WindowSpec::each_event())?;
+    b.connect(notify, "out", notify_out, "in")?;
+
+    // --- Segment statistics ------------------------------------------------
+    let avgsv = b.add_actor("Avgsv", CarSpeedAvg);
+    let avgs = b.add_actor("Avgs", SegmentSpeedAvg);
+    let speed_writer = b.add_actor("SpeedWriter", MinuteSpeedWriter::new(store.clone()));
+    let cars = b.add_actor("cars", CarCounter);
+    let cars_writer = b.add_actor("CarsWriter", SegmentCarsWriter::new(store.clone()));
+    let minute = Micros::from_secs(60);
+    b.connect_windowed(
+        source,
+        "out",
+        avgsv,
+        "in",
+        WindowSpec::time(minute, minute)
+            .group_by(GroupBy::fields(&["carid", "xway", "dir", "seg"])),
+    )?;
+    b.connect_windowed(
+        avgsv,
+        "out",
+        avgs,
+        "in",
+        WindowSpec::time(minute, minute).group_by(GroupBy::fields(&["xway", "dir", "seg"])),
+    )?;
+    b.connect(avgs, "out", speed_writer, "in")?;
+    b.connect_windowed(
+        source,
+        "out",
+        cars,
+        "in",
+        WindowSpec::time(minute, minute).group_by(GroupBy::fields(&["xway", "dir", "seg"])),
+    )?;
+    b.connect(cars, "out", cars_writer, "in")?;
+
+    // --- Toll calculation and notification ----------------------------------
+    let toll = b.add_actor("TollCalculation", TollCalculator::new(store.clone()));
+    let toll_out = b.add_actor("TollNotification", toll_output.actor());
+    b.connect_windowed(
+        source,
+        "out",
+        toll,
+        "in",
+        WindowSpec::tuples(2, 1).group_by(GroupBy::fields(&["carid"])),
+    )?;
+    b.connect(toll, "out", toll_out, "in")?;
+
+    // Designer priorities (paper Table 3): 5 for the actors handling the
+    // immediate output of the workflow, 10 for statistics maintenance and
+    // accident detection.
+    b.set_priority(toll, 5);
+    b.set_priority(toll_out, 5);
+    b.set_priority(notify, 5);
+    b.set_priority(notify_out, 5);
+    b.set_priority(stopped, 10);
+    b.set_priority(detect, 10);
+    b.set_priority(insert, 10);
+    b.set_priority(avgsv, 10);
+    b.set_priority(avgs, 10);
+    b.set_priority(speed_writer, 10);
+    b.set_priority(cars, 10);
+    b.set_priority(cars_writer, 10);
+
+    // Note: the shedder keeps the default priority on purpose — queueing
+    // delay in *its* input is the congestion signal it sheds on.
+
+    Ok(LinearRoad {
+        workflow: b.build()?,
+        store,
+        toll_output,
+        accident_output,
+        shedder,
+    })
+}
+
+/// The stopped-car detection sub-workflow (Figure 11): a composite whose
+/// inner graph re-chunks injected tokens into 4-report windows and runs
+/// the comparison under a DDF director.
+fn stopped_car_composite() -> Result<CompositeActor> {
+    let entry = InjectHandle::new();
+    let exit = confluence_core::actors::Collector::new();
+    let mut ib = WorkflowBuilder::new("stopped-car-subworkflow");
+    let src = ib.add_actor("entry", entry.source());
+    let cmp = ib.add_actor(
+        "compare-positions",
+        FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+            if let Some(t) = StoppedCarDetector::evaluate(w)? {
+                emit(0, t);
+            }
+            Ok(())
+        }),
+    );
+    let k = ib.add_actor("exit", exit.actor());
+    // The outer window is {4, 1}: each firing injects 4 reports, which the
+    // inner consuming 4-window reassembles.
+    ib.connect_windowed(src, "out", cmp, "in", WindowSpec::tuples(4, 4).delete_used(true))?;
+    ib.connect(cmp, "out", k, "in")?;
+    CompositeActor::new(
+        IoSignature::transform("in", "out"),
+        ib.build()?,
+        InnerDirector::Ddf,
+        vec![entry],
+        vec![exit],
+    )
+}
+
+/// The accident detection sub-workflow (Figure 12): inner 2-windows over
+/// injected stopped-car reports, compared under DDF.
+fn accident_composite() -> Result<CompositeActor> {
+    let entry = InjectHandle::new();
+    let exit = confluence_core::actors::Collector::new();
+    let mut ib = WorkflowBuilder::new("accident-subworkflow");
+    let src = ib.add_actor("entry", entry.source());
+    let cmp = ib.add_actor(
+        "compare-cars",
+        FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+            if let Some(t) = AccidentDetector::evaluate(w)? {
+                emit(0, t);
+            }
+            Ok(())
+        }),
+    );
+    let k = ib.add_actor("exit", exit.actor());
+    ib.connect_windowed(src, "out", cmp, "in", WindowSpec::tuples(2, 2).delete_used(true))?;
+    ib.connect(cmp, "out", k, "in")?;
+    CompositeActor::new(
+        IoSignature::transform("in", "out"),
+        ib.build()?,
+        InnerDirector::Ddf,
+        vec![entry],
+        vec![exit],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadConfig;
+
+    #[test]
+    fn builds_with_and_without_composites() {
+        let w = Workload::generate(WorkloadConfig::tiny());
+        for composite in [true, false] {
+            let lr = build(
+                &w,
+                &LrOptions {
+                    composite_subworkflows: composite,
+                    ..LrOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(lr.workflow.actor_count(), 13);
+            let toll = lr.workflow.find("TollCalculation").unwrap();
+            assert_eq!(lr.workflow.node(toll).priority, 5);
+            let stats = lr.workflow.find("Avgsv").unwrap();
+            assert_eq!(lr.workflow.node(stats).priority, 10);
+            assert_eq!(lr.workflow.sources().len(), 1);
+        }
+    }
+
+    #[test]
+    fn source_fans_out_to_four_areas() {
+        let w = Workload::generate(WorkloadConfig::tiny());
+        let lr = build(&w, &LrOptions::default()).unwrap();
+        let src = lr.workflow.find("source").unwrap();
+        let downstream = lr.workflow.downstream_actors(src);
+        assert_eq!(
+            downstream.len(),
+            5,
+            "stopped cars, accident notify, avgsv, cars, toll"
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Predicate and scalar expressions over rows.
+//!
+//! A small expression AST — columns, literals, comparisons, boolean
+//! connectives, arithmetic — rich enough to express the Linear Road toll
+//! query's conditions (`LAV < 40 AND numOfCars > 50 AND seg BETWEEN ...`)
+//! against a schema-resolved row.
+
+use confluence_core::error::{Error, Result};
+
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// A scalar expression evaluated against one row.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A column reference (resolved by name at evaluation).
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// NULL test.
+    IsNull(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Shorthand: column reference.
+pub fn col(name: &str) -> Expr {
+    Expr::Col(name.to_string())
+}
+
+/// Shorthand: literal.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+impl Expr {
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ne, Box::new(other))
+    }
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self + other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
+    }
+    /// `self - other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
+    }
+    /// `self * other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
+    }
+    /// `self / other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
+    }
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+    /// `self BETWEEN lo AND hi` (inclusive).
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+
+    /// Evaluate to a scalar value against a row.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<Value> {
+        Ok(match self {
+            Expr::Col(name) => row[schema.column_index(name)?].clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(a, op, b) => {
+                let va = a.eval(schema, row)?;
+                let vb = b.eval(schema, row)?;
+                if va.is_null() || vb.is_null() {
+                    // SQL-ish: comparisons with NULL are false.
+                    return Ok(Value::Bool(false));
+                }
+                let ord = va.cmp(&vb);
+                Value::Bool(match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                })
+            }
+            Expr::And(a, b) => {
+                Value::Bool(a.eval(schema, row)?.as_bool()? && b.eval(schema, row)?.as_bool()?)
+            }
+            Expr::Or(a, b) => {
+                Value::Bool(a.eval(schema, row)?.as_bool()? || b.eval(schema, row)?.as_bool()?)
+            }
+            Expr::Not(a) => Value::Bool(!a.eval(schema, row)?.as_bool()?),
+            Expr::Arith(a, op, b) => {
+                let va = a.eval(schema, row)?;
+                let vb = b.eval(schema, row)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&va, &vb) {
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        ArithOp::Add => Value::Int(x + y),
+                        ArithOp::Sub => Value::Int(x - y),
+                        ArithOp::Mul => Value::Int(x * y),
+                        ArithOp::Div => {
+                            if *y == 0 {
+                                return Err(Error::Store("integer division by zero".into()));
+                            }
+                            Value::Int(x / y)
+                        }
+                    },
+                    _ => {
+                        let x = va.as_float()?;
+                        let y = vb.as_float()?;
+                        Value::Float(match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => x / y,
+                        })
+                    }
+                }
+            }
+            Expr::IsNull(a) => Value::Bool(a.eval(schema, row)?.is_null()),
+        })
+    }
+
+    /// Evaluate as a boolean predicate.
+    pub fn matches(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        self.eval(schema, row)?.as_bool()
+    }
+
+    /// If this predicate constrains the given columns to constants via
+    /// equality conjunctions (`a = 1 AND b = 2 AND <rest>`), return the
+    /// constant for each column — the index-lookup fast path.
+    pub fn equality_bindings(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        self.collect_eq(&mut out);
+        out
+    }
+
+    /// Inclusive range constraints (`col >= lo`, `col <= hi`, or both —
+    /// what `between` desugars to) found in the top-level conjunction.
+    /// Returns `(column, lower, upper)` with `None` for an open side.
+    pub fn range_bindings(&self) -> Vec<(String, Option<Value>, Option<Value>)> {
+        let mut lows: Vec<(String, Value)> = Vec::new();
+        let mut highs: Vec<(String, Value)> = Vec::new();
+        self.collect_ranges(&mut lows, &mut highs);
+        let mut out: Vec<(String, Option<Value>, Option<Value>)> = Vec::new();
+        for (c, lo) in lows {
+            let hi = highs.iter().find(|(hc, _)| *hc == c).map(|(_, v)| v.clone());
+            out.push((c, Some(lo), hi));
+        }
+        for (c, hi) in highs {
+            if !out.iter().any(|(oc, _, _)| *oc == c) {
+                out.push((c, None, Some(hi)));
+            }
+        }
+        out
+    }
+
+    fn collect_ranges(&self, lows: &mut Vec<(String, Value)>, highs: &mut Vec<(String, Value)>) {
+        match self {
+            Expr::And(a, b) => {
+                a.collect_ranges(lows, highs);
+                b.collect_ranges(lows, highs);
+            }
+            Expr::Cmp(a, op, b) => match (a.as_ref(), op, b.as_ref()) {
+                (Expr::Col(c), CmpOp::Ge, Expr::Lit(v)) => lows.push((c.clone(), v.clone())),
+                (Expr::Col(c), CmpOp::Le, Expr::Lit(v)) => highs.push((c.clone(), v.clone())),
+                (Expr::Lit(v), CmpOp::Le, Expr::Col(c)) => lows.push((c.clone(), v.clone())),
+                (Expr::Lit(v), CmpOp::Ge, Expr::Col(c)) => highs.push((c.clone(), v.clone())),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn collect_eq(&self, out: &mut Vec<(String, Value)>) {
+        match self {
+            Expr::And(a, b) => {
+                a.collect_eq(out);
+                b.collect_eq(out);
+            }
+            Expr::Cmp(a, CmpOp::Eq, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => {
+                    out.push((c.clone(), v.clone()));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("a", ValueType::Int)
+            .column("b", ValueType::Float)
+            .nullable_column("c", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn row() -> Row {
+        vec![5.into(), 2.5.into(), Value::Null]
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row();
+        assert!(col("a").eq(lit(5)).matches(&s, &r).unwrap());
+        assert!(col("a").ne(lit(4)).matches(&s, &r).unwrap());
+        assert!(col("a").gt(lit(4)).matches(&s, &r).unwrap());
+        assert!(col("a").ge(lit(5)).matches(&s, &r).unwrap());
+        assert!(col("b").lt(lit(3.0)).matches(&s, &r).unwrap());
+        assert!(col("b").le(lit(2.5)).matches(&s, &r).unwrap());
+        // Cross-type numeric comparison.
+        assert!(col("a").gt(lit(4.5)).matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_semantics() {
+        let s = schema();
+        let r = row();
+        assert!(!col("c").eq(lit("x")).matches(&s, &r).unwrap());
+        assert!(col("c").is_null().matches(&s, &r).unwrap());
+        assert!(!col("a").is_null().matches(&s, &r).unwrap());
+        assert_eq!(
+            col("c").add(lit(1)).eval(&s, &r).unwrap(),
+            Value::Null,
+            "arithmetic with NULL is NULL"
+        );
+    }
+
+    #[test]
+    fn logic_and_between() {
+        let s = schema();
+        let r = row();
+        let p = col("a").gt(lit(1)).and(col("b").lt(lit(10)));
+        assert!(p.matches(&s, &r).unwrap());
+        assert!(!p.clone().not().matches(&s, &r).unwrap());
+        assert!(col("a").eq(lit(9)).or(col("a").eq(lit(5))).matches(&s, &r).unwrap());
+        assert!(col("a").between(lit(4), lit(6)).matches(&s, &r).unwrap());
+        assert!(!col("a").between(lit(6), lit(9)).matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = schema();
+        let r = row();
+        assert_eq!(col("a").add(lit(2)).eval(&s, &r).unwrap(), Value::Int(7));
+        assert_eq!(col("a").sub(lit(2)).eval(&s, &r).unwrap(), Value::Int(3));
+        assert_eq!(col("a").mul(lit(3)).eval(&s, &r).unwrap(), Value::Int(15));
+        assert_eq!(col("a").div(lit(2)).eval(&s, &r).unwrap(), Value::Int(2));
+        assert_eq!(
+            col("b").mul(lit(2)).eval(&s, &r).unwrap(),
+            Value::Float(5.0)
+        );
+        assert!(col("a").div(lit(0)).eval(&s, &r).is_err());
+        // The toll formula shape: 2·(cars − 50)².
+        let cars = col("a");
+        let toll = lit(2).mul(cars.clone().sub(lit(3)).mul(cars.sub(lit(3))));
+        assert_eq!(toll.eval(&s, &r).unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn equality_bindings_extracted() {
+        let p = col("x")
+            .eq(lit(1))
+            .and(lit(2).eq(col("y")))
+            .and(col("z").gt(lit(3)));
+        let binds = p.equality_bindings();
+        assert_eq!(binds.len(), 2);
+        assert_eq!(binds[0], ("x".to_string(), Value::Int(1)));
+        assert_eq!(binds[1], ("y".to_string(), Value::Int(2)));
+        // OR breaks the conjunction fast path.
+        let q = col("x").eq(lit(1)).or(col("y").eq(lit(2)));
+        assert!(q.equality_bindings().is_empty());
+    }
+
+    #[test]
+    fn range_bindings_extracted() {
+        let p = col("x").between(lit(1), lit(5)).and(col("y").eq(lit(2)));
+        let r = p.range_bindings();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], ("x".to_string(), Some(Value::Int(1)), Some(Value::Int(5))));
+        // One-sided ranges.
+        let q = col("x").ge(lit(3));
+        assert_eq!(q.range_bindings(), vec![("x".to_string(), Some(Value::Int(3)), None)]);
+        let q = col("x").le(lit(3));
+        assert_eq!(q.range_bindings(), vec![("x".to_string(), None, Some(Value::Int(3)))]);
+        // OR breaks the conjunction.
+        let q = col("x").ge(lit(1)).or(col("x").le(lit(2)));
+        assert!(q.range_bindings().is_empty());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        assert!(col("nope").eval(&s, &row()).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # confluence-relstore
+//!
+//! An embedded in-memory relational store: the substrate standing in for
+//! the relational database the paper's Linear Road implementation uses to
+//! keep segment statistics and detected accidents (MySQL in the authors'
+//! setup; see DESIGN.md's substitution notes).
+//!
+//! Features: typed schemas with primary keys ([`schema`]), scalar values
+//! interoperable with workflow tokens ([`value`]), a predicate/arithmetic
+//! expression AST ([`expr`]), tables with unique primary and non-unique
+//! secondary hash indexes, predicate scans with an index fast path,
+//! updates/deletes, and (grouped) aggregates ([`table`]), all behind a
+//! thread-safe shared handle ([`store`]).
+
+pub mod expr;
+pub mod query;
+pub mod schema;
+pub mod store;
+pub mod table;
+pub mod value;
+
+pub use expr::{col, lit, Expr};
+pub use query::{Order, Query};
+pub use schema::{Column, Schema, SchemaBuilder};
+pub use store::{Store, StoreHandle};
+pub use table::{Agg, Table};
+pub use value::{Row, Value, ValueType};

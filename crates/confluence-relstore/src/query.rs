@@ -1,0 +1,217 @@
+//! A small query builder over tables: filter → project → order → limit.
+//!
+//! `select()` on [`Table`] answers predicate scans;
+//! this layer adds the remaining relational conveniences the workflow
+//! actors and tools want without writing row-plumbing by hand.
+
+use confluence_core::error::{Error, Result};
+
+use crate::expr::Expr;
+use crate::store::Store;
+use crate::table::Table;
+use crate::value::{Row, Value};
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A declarative query against one table.
+#[derive(Debug, Clone)]
+pub struct Query {
+    table: String,
+    filter: Option<Expr>,
+    projection: Option<Vec<String>>,
+    order_by: Option<(String, Order)>,
+    limit: Option<usize>,
+}
+
+impl Query {
+    /// Start a query over `table`.
+    pub fn from(table: &str) -> Query {
+        Query {
+            table: table.to_string(),
+            filter: None,
+            projection: None,
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    /// Restrict to rows matching `pred` (ANDed with any previous filter).
+    pub fn filter(mut self, pred: Expr) -> Query {
+        self.filter = Some(match self.filter {
+            Some(existing) => existing.and(pred),
+            None => pred,
+        });
+        self
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn project(mut self, columns: &[&str]) -> Query {
+        self.projection = Some(columns.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Sort by one column.
+    pub fn order_by(mut self, column: &str, order: Order) -> Query {
+        self.order_by = Some((column.to_string(), order));
+        self
+    }
+
+    /// Return at most `n` rows (applied after sorting).
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Execute against a store.
+    pub fn execute(&self, store: &Store) -> Result<Vec<Row>> {
+        self.execute_on(store.table(&self.table)?)
+    }
+
+    /// Execute against a table directly.
+    pub fn execute_on(&self, table: &Table) -> Result<Vec<Row>> {
+        let schema = table.schema();
+        let mut rows = table.select(self.filter.as_ref())?;
+        if let Some((column, order)) = &self.order_by {
+            let idx = schema.column_index(column)?;
+            rows.sort_by(|a, b| {
+                let ord = a[idx].cmp(&b[idx]);
+                match order {
+                    Order::Asc => ord,
+                    Order::Desc => ord.reverse(),
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        if let Some(cols) = &self.projection {
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|c| schema.column_index(c))
+                .collect::<Result<_>>()?;
+            rows = rows
+                .into_iter()
+                .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+        }
+        Ok(rows)
+    }
+
+    /// Execute and return the single value of a one-column, one-row result
+    /// (`None` when no row matched). Errors if the result is wider.
+    pub fn scalar(&self, store: &Store) -> Result<Option<Value>> {
+        let rows = self.execute(store)?;
+        match rows.first() {
+            None => Ok(None),
+            Some(row) if row.len() == 1 => Ok(Some(row[0].clone())),
+            Some(row) => Err(Error::Store(format!(
+                "scalar() on a {}-column result",
+                row.len()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.create_table(
+            "t",
+            Schema::builder()
+                .column("id", ValueType::Int)
+                .column("g", ValueType::Int)
+                .column("v", ValueType::Float)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            s.table_mut("t")
+                .unwrap()
+                .insert(vec![i.into(), (i % 3).into(), (i as f64 * 1.5).into()])
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn filter_project_order_limit() {
+        let s = store();
+        let rows = Query::from("t")
+            .filter(col("g").eq(lit(1)))
+            .order_by("v", Order::Desc)
+            .limit(2)
+            .project(&["id"])
+            .execute(&s)
+            .unwrap();
+        // g == 1 → ids 1, 4, 7; descending v → 7, 4; limit 2.
+        assert_eq!(rows, vec![vec![Value::Int(7)], vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn chained_filters_and() {
+        let s = store();
+        let rows = Query::from("t")
+            .filter(col("g").eq(lit(0)))
+            .filter(col("id").gt(lit(3)))
+            .execute(&s)
+            .unwrap();
+        assert_eq!(rows.len(), 2, "ids 6 and 9");
+    }
+
+    #[test]
+    fn ascending_order() {
+        let s = store();
+        let rows = Query::from("t")
+            .order_by("id", Order::Asc)
+            .limit(3)
+            .project(&["id"])
+            .execute(&s)
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(0)], vec![Value::Int(1)], vec![Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn scalar_access() {
+        let s = store();
+        let v = Query::from("t")
+            .filter(col("id").eq(lit(4)))
+            .project(&["v"])
+            .scalar(&s)
+            .unwrap();
+        assert_eq!(v, Some(Value::Float(6.0)));
+        let none = Query::from("t")
+            .filter(col("id").eq(lit(99)))
+            .project(&["v"])
+            .scalar(&s)
+            .unwrap();
+        assert_eq!(none, None);
+        // Too wide.
+        assert!(Query::from("t").filter(col("id").eq(lit(4))).scalar(&s).is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_columns_error() {
+        let s = store();
+        assert!(Query::from("nope").execute(&s).is_err());
+        assert!(Query::from("t").project(&["zz"]).execute(&s).is_err());
+        assert!(Query::from("t").order_by("zz", Order::Asc).execute(&s).is_err());
+    }
+}

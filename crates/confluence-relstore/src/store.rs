@@ -1,0 +1,139 @@
+//! The store: a named collection of tables behind a shareable handle.
+//!
+//! Workflow actors hold a [`StoreHandle`] (cheaply cloneable, thread-safe)
+//! — the Linear Road workflow's `Insert Accident`, `Accident
+//! Notification`, and `Toll Calculation` actors all talk to the same
+//! store, exactly as the paper's implementation shares one relational
+//! database.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use confluence_core::error::{Error, Result};
+
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// An in-memory relational store.
+#[derive(Debug, Default)]
+pub struct Store {
+    tables: HashMap<String, Table>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table. Fails if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(Error::Store(format!("table `{name}` already exists")));
+        }
+        self.tables.insert(name.to_string(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::Store(format!("unknown table `{name}`")))
+    }
+
+    /// Borrow a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::Store(format!("unknown table `{name}`")))
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// A thread-safe shared handle to a [`Store`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreHandle {
+    inner: Arc<RwLock<Store>>,
+}
+
+impl StoreHandle {
+    /// A handle to a fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run a read-only closure against the store.
+    pub fn read<T>(&self, f: impl FnOnce(&Store) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Run a read-write closure against the store.
+    pub fn write<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::value::{Value, ValueType};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("id", ValueType::Int)
+            .column("v", ValueType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn create_query_drop() {
+        let mut s = Store::new();
+        s.create_table("t", schema()).unwrap();
+        assert!(s.create_table("t", schema()).is_err());
+        s.table_mut("t").unwrap().insert(vec![1.into(), 10.into()]).unwrap();
+        let rows = s
+            .table("t")
+            .unwrap()
+            .select(Some(&col("id").eq(lit(1))))
+            .unwrap();
+        assert_eq!(rows[0][1], Value::Int(10));
+        assert_eq!(s.table_names(), vec!["t"]);
+        assert!(s.drop_table("t"));
+        assert!(!s.drop_table("t"));
+        assert!(s.table("t").is_err());
+        assert!(s.table_mut("t").is_err());
+    }
+
+    #[test]
+    fn handle_is_shareable_across_threads() {
+        let h = StoreHandle::new();
+        h.write(|s| s.create_table("t", schema())).unwrap();
+        let h2 = h.clone();
+        let t = std::thread::spawn(move || {
+            h2.write(|s| {
+                s.table_mut("t")
+                    .unwrap()
+                    .insert(vec![7.into(), 70.into()])
+            })
+            .unwrap();
+        });
+        t.join().unwrap();
+        let n = h.read(|s| s.table("t").unwrap().len());
+        assert_eq!(n, 1);
+    }
+}

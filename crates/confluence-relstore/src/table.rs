@@ -1,0 +1,745 @@
+//! Tables: row storage, primary/secondary hash indexes, predicate scans,
+//! and aggregates.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use confluence_core::error::{Error, Result};
+
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// A secondary (non-unique) hash index over a column subset.
+#[derive(Debug)]
+struct SecondaryIndex {
+    names: Vec<String>,
+    cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+/// An ordered composite index: hash on the equality columns, B-tree on the
+/// range column — serving `eq AND eq AND range_col BETWEEN lo AND hi`
+/// queries (the Linear Road LAV lookup shape).
+#[derive(Debug)]
+struct OrderedIndex {
+    eq_names: Vec<String>,
+    eq_cols: Vec<usize>,
+    range_name: String,
+    range_col: usize,
+    map: HashMap<Vec<Value>, BTreeMap<Value, Vec<usize>>>,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone)]
+pub enum Agg {
+    /// `COUNT(*)`
+    Count,
+    /// `SUM(col)`
+    Sum(String),
+    /// `AVG(col)`
+    Avg(String),
+    /// `MIN(col)`
+    Min(String),
+    /// `MAX(col)`
+    Max(String),
+}
+
+/// An in-memory table with hash indexes.
+#[derive(Debug)]
+pub struct Table {
+    schema: Schema,
+    /// Row slots; `None` marks a deleted row (compacted periodically).
+    rows: Vec<Option<Row>>,
+    live: usize,
+    /// Unique index over the primary key, if declared.
+    pk_index: HashMap<Vec<Value>, usize>,
+    secondary: Vec<SecondaryIndex>,
+    ordered: Vec<OrderedIndex>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_index: HashMap::new(),
+            secondary: Vec::new(),
+            ordered: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Create a secondary hash index over the named columns. Existing rows
+    /// are indexed immediately.
+    pub fn create_index(&mut self, columns: &[&str]) -> Result<()> {
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<Result<_>>()?;
+        let mut idx = SecondaryIndex {
+            names: columns.iter().map(|s| s.to_string()).collect(),
+            cols,
+            map: HashMap::new(),
+        };
+        for (pos, slot) in self.rows.iter().enumerate() {
+            if let Some(row) = slot {
+                let key: Vec<Value> = idx.cols.iter().map(|&c| row[c].clone()).collect();
+                idx.map.entry(key).or_default().push(pos);
+            }
+        }
+        self.secondary.push(idx);
+        Ok(())
+    }
+
+    /// Create an ordered composite index: hash-partitioned on `eq_columns`
+    /// with a B-tree over `range_column`, answering
+    /// `eq… AND range_column BETWEEN lo AND hi` with a range scan.
+    /// Existing rows are indexed immediately.
+    pub fn create_ordered_index(&mut self, eq_columns: &[&str], range_column: &str) -> Result<()> {
+        let eq_cols: Vec<usize> = eq_columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<Result<_>>()?;
+        let range_col = self.schema.column_index(range_column)?;
+        let mut idx = OrderedIndex {
+            eq_names: eq_columns.iter().map(|s| s.to_string()).collect(),
+            eq_cols,
+            range_name: range_column.to_string(),
+            range_col,
+            map: HashMap::new(),
+        };
+        for (pos, slot) in self.rows.iter().enumerate() {
+            if let Some(row) = slot {
+                let key: Vec<Value> = idx.eq_cols.iter().map(|&c| row[c].clone()).collect();
+                idx.map
+                    .entry(key)
+                    .or_default()
+                    .entry(row[idx.range_col].clone())
+                    .or_default()
+                    .push(pos);
+            }
+        }
+        self.ordered.push(idx);
+        Ok(())
+    }
+
+    fn index_insert(&mut self, pos: usize, row: &Row) {
+        for idx in &mut self.secondary {
+            let key: Vec<Value> = idx.cols.iter().map(|&c| row[c].clone()).collect();
+            idx.map.entry(key).or_default().push(pos);
+        }
+        for idx in &mut self.ordered {
+            let key: Vec<Value> = idx.eq_cols.iter().map(|&c| row[c].clone()).collect();
+            idx.map
+                .entry(key)
+                .or_default()
+                .entry(row[idx.range_col].clone())
+                .or_default()
+                .push(pos);
+        }
+    }
+
+    fn index_remove(&mut self, pos: usize, row: &Row) {
+        for idx in &mut self.secondary {
+            let key: Vec<Value> = idx.cols.iter().map(|&c| row[c].clone()).collect();
+            if let Some(v) = idx.map.get_mut(&key) {
+                v.retain(|&p| p != pos);
+                if v.is_empty() {
+                    idx.map.remove(&key);
+                }
+            }
+        }
+        for idx in &mut self.ordered {
+            let key: Vec<Value> = idx.eq_cols.iter().map(|&c| row[c].clone()).collect();
+            if let Some(tree) = idx.map.get_mut(&key) {
+                if let Some(v) = tree.get_mut(&row[idx.range_col]) {
+                    v.retain(|&p| p != pos);
+                    if v.is_empty() {
+                        tree.remove(&row[idx.range_col]);
+                    }
+                }
+                if tree.is_empty() {
+                    idx.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Insert a row; rejects primary-key duplicates.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.schema.validate(&row)?;
+        if !self.schema.primary_key().is_empty() {
+            let key = self.schema.key_of(&row);
+            if self.pk_index.contains_key(&key) {
+                return Err(Error::Store(format!(
+                    "primary key violation: {key:?} already present"
+                )));
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        let pos = self.rows.len();
+        self.index_insert(pos, &row);
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Insert or replace by primary key. Returns `true` if an existing row
+    /// was replaced. Requires a primary key.
+    pub fn upsert(&mut self, row: Row) -> Result<bool> {
+        self.schema.validate(&row)?;
+        if self.schema.primary_key().is_empty() {
+            return Err(Error::Store("upsert requires a primary key".into()));
+        }
+        let key = self.schema.key_of(&row);
+        if let Some(&pos) = self.pk_index.get(&key) {
+            let old = self.rows[pos].take().expect("pk index points at live row");
+            self.index_remove(pos, &old);
+            self.index_insert(pos, &row);
+            self.rows[pos] = Some(row);
+            Ok(true)
+        } else {
+            self.insert(row)?;
+            Ok(false)
+        }
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &[Value]) -> Option<&Row> {
+        let &pos = self.pk_index.get(key)?;
+        self.rows[pos].as_ref()
+    }
+
+    /// Candidate row positions for a predicate: an index whose columns are
+    /// all bound by equality is used when available, otherwise a full scan.
+    fn candidates(&self, pred: Option<&Expr>) -> Result<Vec<usize>> {
+        if let Some(p) = pred {
+            let binds = p.equality_bindings();
+            if !binds.is_empty() {
+                // Primary key covered?
+                let pk = self.schema.primary_key();
+                if !pk.is_empty() {
+                    let mut key = Vec::with_capacity(pk.len());
+                    for &c in pk {
+                        let name = &self.schema.columns()[c].name;
+                        if let Some((_, v)) = binds.iter().find(|(n, _)| n == name) {
+                            key.push(v.clone());
+                        } else {
+                            key.clear();
+                            break;
+                        }
+                    }
+                    if key.len() == pk.len() {
+                        return Ok(self.pk_index.get(&key).copied().into_iter().collect());
+                    }
+                }
+                // Fully-bound secondary index?
+                for idx in &self.secondary {
+                    let mut key = Vec::with_capacity(idx.cols.len());
+                    for name in &idx.names {
+                        if let Some((_, v)) = binds.iter().find(|(n, _)| n == name) {
+                            key.push(v.clone());
+                        } else {
+                            key.clear();
+                            break;
+                        }
+                    }
+                    if key.len() == idx.cols.len() {
+                        return Ok(idx.map.get(&key).cloned().unwrap_or_default());
+                    }
+                }
+            }
+            // Ordered index: all equality columns bound plus a range (or
+            // equality) on the range column.
+            let ranges = p.range_bindings();
+            for idx in &self.ordered {
+                let mut key = Vec::with_capacity(idx.eq_cols.len());
+                for name in &idx.eq_names {
+                    if let Some((_, v)) = binds.iter().find(|(n, _)| n == name) {
+                        key.push(v.clone());
+                    } else {
+                        key.clear();
+                        break;
+                    }
+                }
+                if key.len() != idx.eq_cols.len() {
+                    continue;
+                }
+                let bounds: Option<(Bound<&Value>, Bound<&Value>)> =
+                    if let Some((_, v)) = binds.iter().find(|(n, _)| *n == idx.range_name) {
+                        Some((Bound::Included(v), Bound::Included(v)))
+                    } else if let Some((_, lo, hi)) =
+                        ranges.iter().find(|(n, _, _)| *n == idx.range_name)
+                    {
+                        Some((
+                            lo.as_ref().map_or(Bound::Unbounded, Bound::Included),
+                            hi.as_ref().map_or(Bound::Unbounded, Bound::Included),
+                        ))
+                    } else {
+                        None
+                    };
+                if let Some(bounds) = bounds {
+                    let Some(tree) = idx.map.get(&key) else {
+                        return Ok(Vec::new());
+                    };
+                    let mut out = Vec::new();
+                    for (_, positions) in tree.range::<Value, _>(bounds) {
+                        out.extend_from_slice(positions);
+                    }
+                    return Ok(out);
+                }
+            }
+        }
+        Ok((0..self.rows.len())
+            .filter(|&i| self.rows[i].is_some())
+            .collect())
+    }
+
+    /// Rows satisfying the predicate (all rows when `None`), in storage
+    /// order.
+    pub fn select(&self, pred: Option<&Expr>) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        let mut positions = self.candidates(pred)?;
+        positions.sort_unstable();
+        for pos in positions {
+            let Some(row) = self.rows[pos].as_ref() else {
+                continue;
+            };
+            if match pred {
+                Some(p) => p.matches(&self.schema, row)?,
+                None => true,
+            } {
+                out.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Delete rows satisfying the predicate; returns how many.
+    pub fn delete_where(&mut self, pred: &Expr) -> Result<usize> {
+        let mut positions = self.candidates(Some(pred))?;
+        positions.sort_unstable();
+        let mut deleted = 0;
+        for pos in positions {
+            let matched = match self.rows[pos].as_ref() {
+                Some(row) => pred.matches(&self.schema, row)?,
+                None => false,
+            };
+            if matched {
+                let row = self.rows[pos].take().expect("checked above");
+                self.index_remove(pos, &row);
+                if !self.schema.primary_key().is_empty() {
+                    self.pk_index.remove(&self.schema.key_of(&row));
+                }
+                self.live -= 1;
+                deleted += 1;
+            }
+        }
+        self.maybe_compact();
+        Ok(deleted)
+    }
+
+    /// Update rows satisfying the predicate with `(column, value)`
+    /// assignments; returns how many rows changed. Primary-key columns may
+    /// not be assigned.
+    pub fn update_where(&mut self, pred: &Expr, assignments: &[(&str, Value)]) -> Result<usize> {
+        let cols: Vec<(usize, Value)> = assignments
+            .iter()
+            .map(|(name, v)| Ok((self.schema.column_index(name)?, v.clone())))
+            .collect::<Result<_>>()?;
+        for (c, _) in &cols {
+            if self.schema.primary_key().contains(c) {
+                return Err(Error::Store("cannot update a primary key column".into()));
+            }
+        }
+        let mut positions = self.candidates(Some(pred))?;
+        positions.sort_unstable();
+        let mut updated = 0;
+        for pos in positions {
+            let matched = match self.rows[pos].as_ref() {
+                Some(row) => pred.matches(&self.schema, row)?,
+                None => false,
+            };
+            if matched {
+                let mut row = self.rows[pos].take().expect("checked above");
+                self.index_remove(pos, &row);
+                for (c, v) in &cols {
+                    row[*c] = v.clone();
+                }
+                self.schema.validate(&row)?;
+                self.index_insert(pos, &row);
+                self.rows[pos] = Some(row);
+                updated += 1;
+            }
+        }
+        Ok(updated)
+    }
+
+    /// Compute one aggregate over rows satisfying the predicate.
+    pub fn aggregate(&self, pred: Option<&Expr>, agg: &Agg) -> Result<Value> {
+        let rows = self.select(pred)?;
+        self.aggregate_rows(&rows, agg)
+    }
+
+    fn aggregate_rows(&self, rows: &[Row], agg: &Agg) -> Result<Value> {
+        match agg {
+            Agg::Count => Ok(Value::Int(rows.len() as i64)),
+            Agg::Sum(c) | Agg::Avg(c) => {
+                let idx = self.schema.column_index(c)?;
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for r in rows {
+                    if !r[idx].is_null() {
+                        sum += r[idx].as_float()?;
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    return Ok(Value::Null);
+                }
+                Ok(match agg {
+                    Agg::Sum(_) => Value::Float(sum),
+                    _ => Value::Float(sum / n as f64),
+                })
+            }
+            Agg::Min(c) | Agg::Max(c) => {
+                let idx = self.schema.column_index(c)?;
+                let non_null = rows.iter().map(|r| &r[idx]).filter(|v| !v.is_null());
+                let v = match agg {
+                    Agg::Min(_) => non_null.min(),
+                    _ => non_null.max(),
+                };
+                Ok(v.cloned().unwrap_or(Value::Null))
+            }
+        }
+    }
+
+    /// Grouped aggregation: distinct values of `group_cols` (in first-seen
+    /// order) with one result per aggregate.
+    pub fn group_by(
+        &self,
+        pred: Option<&Expr>,
+        group_cols: &[&str],
+        aggs: &[Agg],
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
+        let gcols: Vec<usize> = group_cols
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<Result<_>>()?;
+        let rows = self.select(pred)?;
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        for row in rows {
+            let key: Vec<Value> = gcols.iter().map(|&c| row[c].clone()).collect();
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(row);
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let rows = &groups[&key];
+            let vals: Vec<Value> = aggs
+                .iter()
+                .map(|a| self.aggregate_rows(rows, a))
+                .collect::<Result<_>>()?;
+            out.push((key, vals));
+        }
+        Ok(out)
+    }
+
+    /// Iterate live rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter_map(|r| r.as_ref())
+    }
+
+    fn maybe_compact(&mut self) {
+        let dead = self.rows.len() - self.live;
+        if dead < 64 || dead < self.live {
+            return;
+        }
+        let old = std::mem::take(&mut self.rows);
+        self.pk_index.clear();
+        for idx in &mut self.secondary {
+            idx.map.clear();
+        }
+        for idx in &mut self.ordered {
+            idx.map.clear();
+        }
+        self.live = 0;
+        for row in old.into_iter().flatten() {
+            // Re-inserting validated rows cannot fail.
+            self.insert(row).expect("re-insert of validated row");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::value::ValueType;
+
+    fn cars_table() -> Table {
+        let schema = Schema::builder()
+            .column("xway", ValueType::Int)
+            .column("seg", ValueType::Int)
+            .column("dir", ValueType::Int)
+            .column("cars", ValueType::Int)
+            .column("lav", ValueType::Float)
+            .primary_key(&["xway", "seg", "dir"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        t.create_index(&["seg"]).unwrap();
+        t
+    }
+
+    fn row(xway: i64, seg: i64, dir: i64, cars: i64, lav: f64) -> Row {
+        vec![xway.into(), seg.into(), dir.into(), cars.into(), lav.into()]
+    }
+
+    #[test]
+    fn insert_get_and_pk_violation() {
+        let mut t = cars_table();
+        t.insert(row(0, 1, 0, 10, 50.0)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let got = t.get(&[0.into(), 1.into(), 0.into()]).unwrap();
+        assert_eq!(got[3], Value::Int(10));
+        assert!(t.insert(row(0, 1, 0, 99, 1.0)).is_err(), "pk violation");
+        assert!(t.get(&[9.into(), 9.into(), 9.into()]).is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_by_key() {
+        let mut t = cars_table();
+        assert!(!t.upsert(row(0, 1, 0, 10, 50.0)).unwrap());
+        assert!(t.upsert(row(0, 1, 0, 60, 35.0)).unwrap());
+        assert_eq!(t.len(), 1);
+        let got = t.get(&[0.into(), 1.into(), 0.into()]).unwrap();
+        assert_eq!(got[3], Value::Int(60));
+        // Secondary index follows the update.
+        let by_seg = t.select(Some(&col("seg").eq(lit(1)))).unwrap();
+        assert_eq!(by_seg.len(), 1);
+        assert_eq!(by_seg[0][3], Value::Int(60));
+    }
+
+    #[test]
+    fn select_uses_pk_and_secondary_paths() {
+        let mut t = cars_table();
+        for seg in 0..20 {
+            t.insert(row(0, seg, 0, seg * 10, 40.0)).unwrap();
+            t.insert(row(1, seg, 0, seg, 60.0)).unwrap();
+        }
+        // Fully-bound PK → point lookup.
+        let hit = t
+            .select(Some(
+                &col("xway")
+                    .eq(lit(1))
+                    .and(col("seg").eq(lit(5)))
+                    .and(col("dir").eq(lit(0))),
+            ))
+            .unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0][3], Value::Int(5));
+        // Secondary index on seg, extra predicate still applied.
+        let seg5 = t
+            .select(Some(&col("seg").eq(lit(5)).and(col("cars").gt(lit(10)))))
+            .unwrap();
+        assert_eq!(seg5.len(), 1);
+        assert_eq!(seg5[0][0], Value::Int(0));
+        // Range predicate → scan.
+        let busy = t.select(Some(&col("cars").ge(lit(150)))).unwrap();
+        assert_eq!(busy.len(), 5, "segs 15..19 on xway 0");
+        // No predicate → everything.
+        assert_eq!(t.select(None).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn scan_and_index_agree() {
+        let mut t = cars_table();
+        for seg in 0..10 {
+            for dir in 0..2 {
+                t.insert(row(0, seg, dir, seg + dir, 30.0)).unwrap();
+            }
+        }
+        let pred = col("seg").eq(lit(3));
+        let via_index = t.select(Some(&pred)).unwrap();
+        // Force a scan by using an un-indexed equivalent predicate.
+        let scan_pred = col("seg").ge(lit(3)).and(col("seg").le(lit(3)));
+        let via_scan = t.select(Some(&scan_pred)).unwrap();
+        assert_eq!(via_index, via_scan);
+        assert_eq!(via_index.len(), 2);
+    }
+
+    #[test]
+    fn delete_where_maintains_indexes() {
+        let mut t = cars_table();
+        for seg in 0..10 {
+            t.insert(row(0, seg, 0, seg, 40.0)).unwrap();
+        }
+        let n = t.delete_where(&col("seg").lt(lit(5))).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(t.len(), 5);
+        assert!(t.get(&[0.into(), 2.into(), 0.into()]).is_none());
+        assert!(t.select(Some(&col("seg").eq(lit(2)))).unwrap().is_empty());
+        // Re-insert a deleted key: allowed.
+        t.insert(row(0, 2, 0, 99, 1.0)).unwrap();
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn update_where_rewrites_and_reindexes() {
+        let mut t = cars_table();
+        t.insert(row(0, 1, 0, 10, 50.0)).unwrap();
+        t.insert(row(0, 2, 0, 20, 50.0)).unwrap();
+        let n = t
+            .update_where(&col("seg").eq(lit(2)), &[("cars", 77.into())])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            t.get(&[0.into(), 2.into(), 0.into()]).unwrap()[3],
+            Value::Int(77)
+        );
+        assert!(t
+            .update_where(&col("seg").eq(lit(2)), &[("seg", 9.into())])
+            .is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut t = cars_table();
+        for seg in 0..4 {
+            t.insert(row(0, seg, 0, seg * 10, seg as f64)).unwrap();
+        }
+        assert_eq!(t.aggregate(None, &Agg::Count).unwrap(), Value::Int(4));
+        assert_eq!(
+            t.aggregate(None, &Agg::Sum("cars".into())).unwrap(),
+            Value::Float(60.0)
+        );
+        assert_eq!(
+            t.aggregate(None, &Agg::Avg("cars".into())).unwrap(),
+            Value::Float(15.0)
+        );
+        assert_eq!(
+            t.aggregate(None, &Agg::Min("lav".into())).unwrap(),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            t.aggregate(None, &Agg::Max("lav".into())).unwrap(),
+            Value::Float(3.0)
+        );
+        let filtered = t
+            .aggregate(Some(&col("seg").ge(lit(2))), &Agg::Count)
+            .unwrap();
+        assert_eq!(filtered, Value::Int(2));
+        // Empty aggregates.
+        let none = t.aggregate(Some(&col("seg").gt(lit(100))), &Agg::Avg("cars".into()));
+        assert_eq!(none.unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let mut t = cars_table();
+        t.insert(row(0, 1, 0, 10, 30.0)).unwrap();
+        t.insert(row(0, 1, 1, 20, 40.0)).unwrap();
+        t.insert(row(0, 2, 0, 30, 50.0)).unwrap();
+        let groups = t
+            .group_by(None, &["seg"], &[Agg::Count, Agg::Avg("cars".into())])
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, vec![Value::Int(1)]);
+        assert_eq!(groups[0].1, vec![Value::Int(2), Value::Float(15.0)]);
+        assert_eq!(groups[1].0, vec![Value::Int(2)]);
+        assert_eq!(groups[1].1, vec![Value::Int(1), Value::Float(30.0)]);
+    }
+
+    #[test]
+    fn ordered_index_serves_eq_plus_range() {
+        let mut t = cars_table();
+        t.create_ordered_index(&["xway", "dir"], "seg").unwrap();
+        for seg in 0..50 {
+            t.insert(row(0, seg, 0, seg, 40.0)).unwrap();
+            t.insert(row(1, seg, 0, seg + 100, 40.0)).unwrap();
+        }
+        let pred = col("xway")
+            .eq(lit(0))
+            .and(col("dir").eq(lit(0)))
+            .and(col("seg").between(lit(10), lit(14)));
+        let rows = t.select(Some(&pred)).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[0] == Value::Int(0)));
+        // Equality on the range column also uses the tree.
+        let pred_eq = col("xway")
+            .eq(lit(1))
+            .and(col("dir").eq(lit(0)))
+            .and(col("seg").eq(lit(7)));
+        let rows = t.select(Some(&pred_eq)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][3], Value::Int(107));
+        // One-sided range.
+        let pred_open = col("xway")
+            .eq(lit(0))
+            .and(col("dir").eq(lit(0)))
+            .and(col("seg").ge(lit(45)));
+        assert_eq!(t.select(Some(&pred_open)).unwrap().len(), 5);
+        // Missing partition → empty, not scan.
+        let pred_missing = col("xway")
+            .eq(lit(9))
+            .and(col("dir").eq(lit(0)))
+            .and(col("seg").between(lit(0), lit(100)));
+        assert!(t.select(Some(&pred_missing)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ordered_index_tracks_upsert_and_delete() {
+        let mut t = cars_table();
+        t.create_ordered_index(&["xway", "dir"], "seg").unwrap();
+        for seg in 0..10 {
+            t.insert(row(0, seg, 0, seg, 40.0)).unwrap();
+        }
+        t.upsert(row(0, 5, 0, 500, 40.0)).unwrap();
+        t.delete_where(&col("seg").lt(lit(3))).unwrap();
+        let pred = col("xway")
+            .eq(lit(0))
+            .and(col("dir").eq(lit(0)))
+            .and(col("seg").between(lit(0), lit(5)));
+        let rows = t.select(Some(&pred)).unwrap();
+        assert_eq!(rows.len(), 3, "segs 3, 4, 5 remain");
+        assert!(rows.iter().any(|r| r[3] == Value::Int(500)));
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut t = cars_table();
+        for seg in 0..200 {
+            t.insert(row(0, seg, 0, seg, 40.0)).unwrap();
+        }
+        t.delete_where(&col("seg").lt(lit(150))).unwrap();
+        assert_eq!(t.len(), 50);
+        // Everything still reachable after internal compaction.
+        for seg in 150..200i64 {
+            assert!(t.get(&[0.into(), seg.into(), 0.into()]).is_some());
+        }
+        assert_eq!(t.iter().count(), 50);
+        assert_eq!(t.select(Some(&col("seg").eq(lit(175)))).unwrap().len(), 1);
+    }
+}

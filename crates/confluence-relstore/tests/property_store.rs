@@ -1,0 +1,174 @@
+//! Property tests of the relational store: index/scan equivalence, upsert
+//! semantics, and aggregate consistency under random operation sequences.
+
+use proptest::prelude::*;
+
+use confluence_relstore::expr::{col, lit};
+use confluence_relstore::{Agg, Schema, Table, Value, ValueType};
+
+fn fresh_table(with_index: bool) -> Table {
+    let schema = Schema::builder()
+        .column("k", ValueType::Int)
+        .column("g", ValueType::Int)
+        .column("v", ValueType::Int)
+        .primary_key(&["k"])
+        .build()
+        .unwrap();
+    let mut t = Table::new(schema);
+    if with_index {
+        t.create_index(&["g"]).unwrap();
+        t.create_ordered_index(&["g"], "v").unwrap();
+    }
+    t
+}
+
+/// Random operations over a small key space so collisions happen.
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert { k: i64, g: i64, v: i64 },
+    Delete { g: i64 },
+    UpdateV { g: i64, v: i64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..30i64, 0..5i64, 0..100i64).prop_map(|(k, g, v)| Op::Upsert { k, g, v }),
+            (0..5i64).prop_map(|g| Op::Delete { g }),
+            (0..5i64, 0..100i64).prop_map(|(g, v)| Op::UpdateV { g, v }),
+        ],
+        0..80,
+    )
+}
+
+fn apply(t: &mut Table, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Upsert { k, g, v } => {
+                t.upsert(vec![(*k).into(), (*g).into(), (*v).into()]).unwrap();
+            }
+            Op::Delete { g } => {
+                t.delete_where(&col("g").eq(lit(*g))).unwrap();
+            }
+            Op::UpdateV { g, v } => {
+                t.update_where(&col("g").eq(lit(*g)), &[("v", (*v).into())])
+                    .unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    /// A table with a secondary index and one without produce identical
+    /// query results after any operation sequence — the index is purely an
+    /// access path.
+    #[test]
+    fn indexed_and_unindexed_tables_agree(ops in ops(), probe_g in 0..5i64) {
+        let mut indexed = fresh_table(true);
+        let mut plain = fresh_table(false);
+        apply(&mut indexed, &ops);
+        apply(&mut plain, &ops);
+
+        prop_assert_eq!(indexed.len(), plain.len());
+        let pred = col("g").eq(lit(probe_g));
+        let mut a = indexed.select(Some(&pred)).unwrap();
+        let mut b = plain.select(Some(&pred)).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+
+        let agg_a = indexed.aggregate(Some(&pred), &Agg::Sum("v".into())).unwrap();
+        let agg_b = plain.aggregate(Some(&pred), &Agg::Sum("v".into())).unwrap();
+        prop_assert_eq!(agg_a, agg_b);
+    }
+
+    /// Upsert keeps exactly one row per key and the last write wins.
+    #[test]
+    fn upsert_last_write_wins(writes in prop::collection::vec((0..10i64, 0..100i64), 1..60)) {
+        let mut t = fresh_table(true);
+        let mut model: std::collections::HashMap<i64, i64> = Default::default();
+        for (k, v) in &writes {
+            t.upsert(vec![(*k).into(), 0.into(), (*v).into()]).unwrap();
+            model.insert(*k, *v);
+        }
+        prop_assert_eq!(t.len(), model.len());
+        for (k, v) in &model {
+            let row = t.get(&[(*k).into()]).expect("key present");
+            prop_assert_eq!(row[2].clone(), Value::Int(*v));
+        }
+    }
+
+    /// COUNT/SUM/AVG/MIN/MAX agree with a direct fold over `select`.
+    #[test]
+    fn aggregates_match_direct_fold(ops in ops()) {
+        let mut t = fresh_table(true);
+        apply(&mut t, &ops);
+        let rows = t.select(None).unwrap();
+        let vals: Vec<i64> = rows.iter().map(|r| r[2].as_int().unwrap()).collect();
+        prop_assert_eq!(
+            t.aggregate(None, &Agg::Count).unwrap(),
+            Value::Int(vals.len() as i64)
+        );
+        if vals.is_empty() {
+            prop_assert_eq!(t.aggregate(None, &Agg::Sum("v".into())).unwrap(), Value::Null);
+            prop_assert_eq!(t.aggregate(None, &Agg::Min("v".into())).unwrap(), Value::Null);
+        } else {
+            let sum: i64 = vals.iter().sum();
+            prop_assert_eq!(
+                t.aggregate(None, &Agg::Sum("v".into())).unwrap(),
+                Value::Float(sum as f64)
+            );
+            prop_assert_eq!(
+                t.aggregate(None, &Agg::Avg("v".into())).unwrap(),
+                Value::Float(sum as f64 / vals.len() as f64)
+            );
+            prop_assert_eq!(
+                t.aggregate(None, &Agg::Min("v".into())).unwrap(),
+                Value::Int(*vals.iter().min().unwrap())
+            );
+            prop_assert_eq!(
+                t.aggregate(None, &Agg::Max("v".into())).unwrap(),
+                Value::Int(*vals.iter().max().unwrap())
+            );
+        }
+    }
+
+    /// The ordered composite index answers eq+range queries identically to
+    /// a plain scan after arbitrary mutations.
+    #[test]
+    fn ordered_index_matches_scan(ops in ops(), probe_g in 0..5i64, lo in 0..60i64, width in 0..60i64) {
+        let mut indexed = fresh_table(true);
+        let mut plain = fresh_table(false);
+        apply(&mut indexed, &ops);
+        apply(&mut plain, &ops);
+        let pred = col("g")
+            .eq(lit(probe_g))
+            .and(col("v").between(lit(lo), lit(lo + width)));
+        let mut a = indexed.select(Some(&pred)).unwrap();
+        let mut b = plain.select(Some(&pred)).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Group-by partitions `select`: group sizes sum to the table size and
+    /// each group's aggregate matches a filtered aggregate.
+    #[test]
+    fn group_by_partitions(ops in ops()) {
+        let mut t = fresh_table(true);
+        apply(&mut t, &ops);
+        let groups = t.group_by(None, &["g"], &[Agg::Count, Agg::Sum("v".into())]).unwrap();
+        let total: i64 = groups.iter().map(|(_, aggs)| match aggs[0] {
+            Value::Int(n) => n,
+            _ => unreachable!(),
+        }).sum();
+        prop_assert_eq!(total as usize, t.len());
+        for (key, aggs) in &groups {
+            let pred = col("g").eq(confluence_relstore::expr::Expr::Lit(key[0].clone()));
+            prop_assert_eq!(
+                aggs[1].clone(),
+                t.aggregate(Some(&pred), &Agg::Sum("v".into())).unwrap()
+            );
+        }
+    }
+}

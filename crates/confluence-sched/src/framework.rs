@@ -1,0 +1,112 @@
+//! The Abstract Scheduler interface of STAFiLOS.
+//!
+//! The Scheduled CWF director is schedule-independent: a scheduling policy
+//! implementing [`Scheduler`] is plugged into it. The framework maintains,
+//! per actor, a queue of ready windows (held by the director), a state
+//! (ACTIVE / WAITING / INACTIVE, Table 2), and two priority queues — one
+//! for active actors and one for waiting actors — ordered by a comparator
+//! the policy provides. The director signals the scheduler through the
+//! hooks below at each stage of its iteration cycle (Figure 3).
+
+use confluence_core::time::{Micros, Timestamp};
+
+use crate::stats::StatsModule;
+
+/// Actor scheduling states (paper §3, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorState {
+    /// Can be considered for firing in the current iteration.
+    Active,
+    /// Waiting for something within the scheduler (quantum refresh, next
+    /// period) before it can run again.
+    Waiting,
+    /// Has no events to process.
+    Inactive,
+}
+
+/// Static description of one actor, given to the policy at initialization.
+#[derive(Debug, Clone)]
+pub struct ActorInfo {
+    /// Index within the workflow.
+    pub index: usize,
+    /// Actor name (for diagnostics).
+    pub name: String,
+    /// Designer-assigned priority (lower = more urgent; QBS uses this).
+    pub priority: i32,
+    /// Whether the actor is a source. Source actors are treated
+    /// independently of the rest to regulate the inflow of data.
+    pub is_source: bool,
+}
+
+/// A pluggable scheduling policy for the Scheduled CWF director.
+///
+/// ### Contract with the director
+///
+/// * [`Scheduler::on_enqueue`] — one window became ready for `actor`
+///   (called once per window, with the window's earliest wave-origin
+///   timestamp so deadline-aware policies can order by staleness).
+/// * [`Scheduler::on_source_ready`] — `actor` (a source) has/hasn't a due
+///   arrival; called whenever readiness changes.
+/// * [`Scheduler::next_actor`] — pick the next actor to fire; `None` ends
+///   the director iteration (the director then calls
+///   [`Scheduler::end_iteration`] for maintenance such as
+///   re-quantification, and restarts or advances time).
+/// * [`Scheduler::after_fire`] — the chosen actor fired with the given
+///   cost; `remaining` is the number of windows still queued for it.
+///   Internal actors consume exactly one window per firing.
+pub trait Scheduler: Send {
+    /// Policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Reset and learn the actor population.
+    fn init(&mut self, actors: &[ActorInfo]);
+
+    /// A window became ready for `actor`; `origin` is the earliest
+    /// external-event timestamp among the window's events.
+    fn on_enqueue(&mut self, actor: usize, origin: Timestamp);
+
+    /// Source readiness changed (a timetable arrival became due, or the
+    /// source exhausted).
+    fn on_source_ready(&mut self, actor: usize, ready: bool);
+
+    /// Choose the next actor to fire.
+    fn next_actor(&mut self) -> Option<usize>;
+
+    /// Record the outcome of the firing of `actor`.
+    fn after_fire(&mut self, actor: usize, cost: Micros, remaining: usize, stats: &StatsModule);
+
+    /// End-of-iteration maintenance (re-quantification, period flip,
+    /// priority recomputation). Returns `true` if the maintenance made any
+    /// actor runnable again — the director then starts a new iteration
+    /// immediately instead of advancing time.
+    fn end_iteration(&mut self, stats: &StatsModule) -> bool;
+
+    /// Current state of an actor (Table 2), for inspection and tests.
+    fn state(&self, actor: usize) -> ActorState;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_state_is_comparable() {
+        assert_eq!(ActorState::Active, ActorState::Active);
+        assert_ne!(ActorState::Active, ActorState::Waiting);
+    }
+
+    #[test]
+    fn actor_info_is_cloneable() {
+        let i = ActorInfo {
+            index: 1,
+            name: "x".into(),
+            priority: 5,
+            is_source: true,
+        };
+        let j = i.clone();
+        assert_eq!(j.index, 1);
+        assert_eq!(j.name, "x");
+        assert_eq!(j.priority, 5);
+        assert!(j.is_source);
+    }
+}

@@ -1,0 +1,224 @@
+//! An earliest-deadline-first policy (extension).
+//!
+//! The paper's introduction lists QoS requirements "from specifying a
+//! delay target, to keeping a fraction of results below a response time
+//! target, to minimizing tardiness" — but none of its three case-study
+//! policies orders work by how close each event is to violating its
+//! target. `EdfScheduler` does: every queued window carries a deadline
+//! (its earliest wave-origin plus the delay target), and the actor whose
+//! head window's deadline is earliest fires next. With a uniform target
+//! this is oldest-origin-first, the greedy minimizer of maximum tardiness.
+//!
+//! Sources are scheduled at regular intervals like QBS/RR — a fresh
+//! external event's deadline is far away by construction, so without the
+//! interval the policy would starve the inflow exactly like RB does.
+
+use std::collections::VecDeque;
+
+use confluence_core::time::{Micros, Timestamp};
+
+use crate::framework::{ActorInfo, ActorState, Scheduler};
+use crate::stats::StatsModule;
+
+/// Earliest-deadline-first over window origins.
+pub struct EdfScheduler {
+    /// The delay target added to each window's origin to form its deadline.
+    pub target: Micros,
+    /// One source firing per this many internal firings.
+    pub source_interval: u64,
+    /// Per-actor queues of origin timestamps, in delivery (FIFO) order —
+    /// the director always hands the actor its oldest window first, so the
+    /// head of this queue is the actor's most urgent deadline.
+    origins: Vec<VecDeque<Timestamp>>,
+    is_source: Vec<bool>,
+    source_ready: Vec<bool>,
+    sources: Vec<usize>,
+    source_rr: usize,
+    internal_since_source: u64,
+}
+
+impl EdfScheduler {
+    /// EDF with the given delay target and source interval.
+    pub fn new(target: Micros, source_interval: u64) -> Self {
+        EdfScheduler {
+            target,
+            source_interval: source_interval.max(1),
+            origins: Vec::new(),
+            is_source: Vec::new(),
+            source_ready: Vec::new(),
+            sources: Vec::new(),
+            source_rr: 0,
+            internal_since_source: 0,
+        }
+    }
+
+    fn pick_source(&mut self) -> Option<usize> {
+        for k in 0..self.sources.len() {
+            let s = self.sources[(self.source_rr + k) % self.sources.len()];
+            if self.source_ready[s] {
+                self.source_rr = (self.source_rr + k + 1) % self.sources.len();
+                return Some(s);
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for EdfScheduler {
+    fn name(&self) -> &'static str {
+        "EDF"
+    }
+
+    fn init(&mut self, actors: &[ActorInfo]) {
+        let n = actors.len();
+        self.origins = (0..n).map(|_| VecDeque::new()).collect();
+        self.is_source = vec![false; n];
+        self.source_ready = vec![false; n];
+        self.sources.clear();
+        self.source_rr = 0;
+        self.internal_since_source = 0;
+        for a in actors {
+            self.is_source[a.index] = a.is_source;
+            if a.is_source {
+                self.sources.push(a.index);
+            }
+        }
+    }
+
+    fn on_enqueue(&mut self, actor: usize, origin: Timestamp) {
+        if !self.is_source[actor] {
+            self.origins[actor].push_back(origin);
+        }
+    }
+
+    fn on_source_ready(&mut self, actor: usize, ready: bool) {
+        self.source_ready[actor] = ready;
+    }
+
+    fn next_actor(&mut self) -> Option<usize> {
+        if self.internal_since_source >= self.source_interval {
+            if let Some(s) = self.pick_source() {
+                self.internal_since_source = 0;
+                return Some(s);
+            }
+        }
+        // Earliest head deadline = earliest head origin (uniform target).
+        let best = self
+            .origins
+            .iter()
+            .enumerate()
+            .filter_map(|(a, q)| q.front().map(|o| (*o, a)))
+            .min();
+        if let Some((_, a)) = best {
+            self.internal_since_source += 1;
+            return Some(a);
+        }
+        self.pick_source()
+    }
+
+    fn after_fire(&mut self, actor: usize, _cost: Micros, remaining: usize, _stats: &StatsModule) {
+        if self.is_source[actor] {
+            return;
+        }
+        self.origins[actor].pop_front();
+        // Defensive resync: the director's queue length is authoritative.
+        while self.origins[actor].len() > remaining {
+            self.origins[actor].pop_front();
+        }
+    }
+
+    fn end_iteration(&mut self, _stats: &StatsModule) -> bool {
+        false
+    }
+
+    fn state(&self, actor: usize) -> ActorState {
+        if self.is_source[actor] {
+            if self.source_ready[actor] {
+                ActorState::Active
+            } else {
+                ActorState::Waiting
+            }
+        } else if self.origins[actor].is_empty() {
+            ActorState::Inactive
+        } else {
+            ActorState::Active
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infos() -> Vec<ActorInfo> {
+        vec![
+            ActorInfo {
+                index: 0,
+                name: "src".into(),
+                priority: 20,
+                is_source: true,
+            },
+            ActorInfo {
+                index: 1,
+                name: "a".into(),
+                priority: 20,
+                is_source: false,
+            },
+            ActorInfo {
+                index: 2,
+                name: "b".into(),
+                priority: 20,
+                is_source: false,
+            },
+        ]
+    }
+
+    fn stats() -> StatsModule {
+        use confluence_core::graph::WorkflowBuilder;
+        StatsModule::new(&WorkflowBuilder::new("empty").build().unwrap())
+    }
+
+    #[test]
+    fn picks_the_stalest_head_first() {
+        let mut e = EdfScheduler::new(Micros::from_secs(1), 100);
+        e.init(&infos());
+        e.on_enqueue(1, Timestamp(500));
+        e.on_enqueue(2, Timestamp(100)); // staler
+        e.on_enqueue(1, Timestamp(50)); // stale but behind 500 in actor 1's FIFO
+        let s = stats();
+        assert_eq!(e.next_actor(), Some(2), "actor 2's head is oldest");
+        e.after_fire(2, Micros(1), 0, &s);
+        assert_eq!(e.next_actor(), Some(1));
+        e.after_fire(1, Micros(1), 1, &s);
+        assert_eq!(e.next_actor(), Some(1));
+        e.after_fire(1, Micros(1), 0, &s);
+        assert_eq!(e.next_actor(), None);
+    }
+
+    #[test]
+    fn sources_by_interval() {
+        let mut e = EdfScheduler::new(Micros::from_secs(1), 1);
+        e.init(&infos());
+        e.on_source_ready(0, true);
+        e.on_enqueue(1, Timestamp(1));
+        let s = stats();
+        assert_eq!(e.next_actor(), Some(1));
+        e.after_fire(1, Micros(1), 0, &s);
+        assert_eq!(e.next_actor(), Some(0), "interval slot");
+        e.after_fire(0, Micros(1), 0, &s);
+        assert_eq!(e.next_actor(), Some(0), "idle fallback to ready source");
+    }
+
+    #[test]
+    fn states() {
+        let mut e = EdfScheduler::new(Micros(1), 5);
+        e.init(&infos());
+        assert_eq!(e.state(1), ActorState::Inactive);
+        e.on_enqueue(1, Timestamp(9));
+        assert_eq!(e.state(1), ActorState::Active);
+        assert_eq!(e.state(0), ActorState::Waiting);
+        e.on_source_ready(0, true);
+        assert_eq!(e.state(0), ActorState::Active);
+        assert!(!e.end_iteration(&stats()));
+    }
+}

@@ -1,0 +1,23 @@
+//! Concrete scheduling policies for the STAFiLOS framework.
+//!
+//! Case studies from the paper (§3.1): the Quantum Priority Based
+//! scheduler ([`qbs::QbsScheduler`]), the traditional fair Round-Robin
+//! scheduler ([`rr::RrScheduler`]), and the Rate-Based scheduler from the
+//! continuous-query literature ([`rb::RbScheduler`]) — plus a plain FIFO
+//! policy ([`fifo::FifoScheduler`]), the simulated thread-based baseline
+//! ([`os::OsThreadScheduler`]), and an earliest-deadline-first extension
+//! ([`edf::EdfScheduler`]).
+
+pub mod edf;
+pub mod fifo;
+pub mod os;
+pub mod qbs;
+pub mod rb;
+pub mod rr;
+
+pub use edf::EdfScheduler;
+pub use fifo::FifoScheduler;
+pub use os::OsThreadScheduler;
+pub use qbs::QbsScheduler;
+pub use rb::RbScheduler;
+pub use rr::RrScheduler;

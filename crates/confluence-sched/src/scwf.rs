@@ -1,0 +1,719 @@
+//! The Scheduled CWF (SCWF) director.
+//!
+//! The main STAFiLOS component: it interacts with the workflow model
+//! (actors, ports, receivers) and enacts a pluggable scheduling policy
+//! (paper §3, Figure 3). Its iteration cycle:
+//!
+//! 1. signal the policy (begin of iteration),
+//! 2. repeatedly call `next_actor()`; for an internal actor, dequeue one
+//!    ready window, place it on the actor's input port, prefire/fire the
+//!    actor while timing it, route the productions (whose windows are
+//!    enqueued back at the scheduler), and update the statistics module,
+//! 3. when `next_actor()` returns `None`, post-fire: let the policy do its
+//!    maintenance (re-quantification, period flip) and restart — or, if
+//!    the workflow is quiescent, advance time to the next source arrival /
+//!    window timeout.
+//!
+//! The director runs in **virtual time** (costs charged to a
+//! [`VirtualClock`] via a [`CostModel`] — experiments finish in
+//! milliseconds) or **real time** (costs measured on the wall clock).
+//!
+//! The execution state lives in [`ScwfCore`], a *steppable* engine:
+//! [`ScwfDirector`] drives it to completion for single workflows, while
+//! the multi-workflow manager ([`crate::multi`]) interleaves several cores
+//! on one shared clock with per-slice budgets (the paper's two-level
+//! scheduling design, §5).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use confluence_core::director::ddf::quasi_topological;
+use confluence_core::director::{Director, Fabric, QueueContext, RunReport};
+use confluence_core::error::Result;
+use confluence_core::graph::{ActorId, Workflow};
+use confluence_core::time::{Clock, Micros, Timestamp, VirtualClock, WallClock};
+use confluence_core::window::Window;
+
+use crate::cost::CostModel;
+use crate::framework::{ActorInfo, Scheduler};
+use crate::stats::StatsModule;
+
+/// How the director keeps time.
+pub enum TimeMode {
+    /// Discrete-event execution: firing costs come from a model and are
+    /// charged to a virtual clock.
+    Virtual {
+        /// The simulation clock (shareable across workflows).
+        clock: Arc<VirtualClock>,
+        /// The firing-cost model.
+        cost: Box<dyn CostModel>,
+    },
+    /// Wall-clock execution with measured costs.
+    Real {
+        /// The wall clock.
+        clock: Arc<WallClock>,
+    },
+}
+
+impl TimeMode {
+    fn now(&self) -> Timestamp {
+        match self {
+            TimeMode::Virtual { clock, .. } => clock.now(),
+            TimeMode::Real { clock } => clock.now(),
+        }
+    }
+}
+
+/// Outcome of one [`ScwfCore::run_for`] slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The slice budget was exhausted; more work is immediately pending.
+    BudgetExhausted,
+    /// Quiescent until the given instant (next source arrival or window
+    /// timeout). The caller decides how time advances.
+    IdleUntil(Timestamp),
+    /// The workflow completed (sources exhausted, everything drained and
+    /// flushed, actors wrapped up).
+    Finished,
+}
+
+/// The steppable SCWF execution engine for one workflow.
+pub struct ScwfCore {
+    policy: Box<dyn Scheduler>,
+    mode: TimeMode,
+    /// Fixed overhead charged per scheduling decision in virtual mode.
+    pub scheduler_overhead: Micros,
+    /// Hard stop: abandon the run once time passes this.
+    pub deadline: Option<Timestamp>,
+    // Execution state (built on first use).
+    state: Option<ExecState>,
+    report: RunReport,
+    started: Option<Timestamp>,
+}
+
+struct ExecState {
+    fabric: Fabric,
+    stats: StatsModule,
+    queues: Vec<VecDeque<(usize, Window)>>,
+    contexts: Vec<QueueContext>,
+    source_ids: Vec<usize>,
+    source_exhausted: Vec<bool>,
+    topo: Vec<ActorId>,
+    closed: bool,
+    wrapped_up: bool,
+}
+
+impl ScwfCore {
+    /// Virtual-time core with the given policy, cost model, and clock.
+    pub fn new_virtual(
+        policy: Box<dyn Scheduler>,
+        cost: Box<dyn CostModel>,
+        clock: Arc<VirtualClock>,
+    ) -> Self {
+        ScwfCore {
+            policy,
+            mode: TimeMode::Virtual { clock, cost },
+            scheduler_overhead: Micros::ZERO,
+            deadline: None,
+            state: None,
+            report: RunReport::default(),
+            started: None,
+        }
+    }
+
+    /// Real-time core.
+    pub fn new_real(policy: Box<dyn Scheduler>) -> Self {
+        ScwfCore {
+            policy,
+            mode: TimeMode::Real {
+                clock: Arc::new(WallClock::new()),
+            },
+            scheduler_overhead: Micros::ZERO,
+            deadline: None,
+            state: None,
+            report: RunReport::default(),
+            started: None,
+        }
+    }
+
+    /// Current time on the core's clock.
+    pub fn now(&self) -> Timestamp {
+        self.mode.now()
+    }
+
+    /// The policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Statistics collected so far (None before the first slice).
+    pub fn stats(&self) -> Option<&StatsModule> {
+        self.state.as_ref().map(|s| &s.stats)
+    }
+
+    /// The cumulative run report.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn ensure_init(&mut self, workflow: &mut Workflow) -> Result<()> {
+        if self.state.is_some() {
+            return Ok(());
+        }
+        self.started = Some(self.now());
+        let fabric = Fabric::build(workflow)?;
+        let stats = StatsModule::new(workflow);
+        let n = workflow.actor_count();
+        let queues: Vec<VecDeque<(usize, Window)>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut contexts: Vec<QueueContext> = workflow
+            .actor_ids()
+            .map(|id| QueueContext::new(workflow.node(id).signature.inputs.len()))
+            .collect();
+        let infos: Vec<ActorInfo> = workflow
+            .actor_ids()
+            .map(|id| {
+                let node = workflow.node(id);
+                ActorInfo {
+                    index: id.index(),
+                    name: node.name.clone(),
+                    priority: node.priority,
+                    is_source: node.is_source,
+                }
+            })
+            .collect();
+        self.policy.init(&infos);
+        let source_ids: Vec<usize> = workflow.sources().iter().map(|i| i.index()).collect();
+        let source_exhausted = vec![false; n];
+        for id in workflow.actor_ids() {
+            let ctx = &mut contexts[id.index()];
+            ctx.set_now(self.now());
+            workflow.node_mut(id).actor_mut().initialize(ctx)?;
+            let (emissions, _) = ctx.take_emissions();
+            self.report.events_routed += fabric.route(id, emissions, None, self.now())?;
+        }
+        let topo = quasi_topological(workflow);
+        self.state = Some(ExecState {
+            fabric,
+            stats,
+            queues,
+            contexts,
+            source_ids,
+            source_exhausted,
+            topo,
+            closed: false,
+            wrapped_up: false,
+        });
+        self.sync_external(workflow);
+        Ok(())
+    }
+
+    /// Drain receiver inboxes into the per-actor ready queues and refresh
+    /// source readiness. Call after anything that may have produced
+    /// windows or advanced time.
+    fn sync_external(&mut self, workflow: &Workflow) {
+        let st = self.state.as_mut().expect("initialized");
+        // Expired-items queues feed their handler activities (if any).
+        let _ = st.fabric.route_expired(self.mode.now());
+        for i in 0..st.queues.len() {
+            let inbox = st.fabric.inbox(ActorId(i));
+            while let Some((port, w)) = inbox.try_pop() {
+                let origin = w.earliest_origin().unwrap_or(Timestamp::ZERO);
+                st.queues[i].push_back((port, w));
+                self.policy.on_enqueue(i, origin);
+            }
+        }
+        let now = self.mode.now();
+        for &s in &st.source_ids {
+            if st.source_exhausted[s] {
+                continue;
+            }
+            let arrival = workflow
+                .node(ActorId(s))
+                .peek_actor()
+                .and_then(|a| a.next_arrival());
+            match arrival {
+                None => {
+                    st.source_exhausted[s] = true;
+                    self.policy.on_source_ready(s, false);
+                }
+                Some(t) => self.policy.on_source_ready(s, t <= now),
+            }
+        }
+    }
+
+    /// Run until quiescence, completion, or (if given) until `budget`
+    /// microseconds of cost have been charged in this slice.
+    pub fn run_for(&mut self, workflow: &mut Workflow, budget: Option<Micros>) -> Result<Progress> {
+        self.ensure_init(workflow)?;
+        let mut spent = Micros::ZERO;
+        self.sync_external(workflow);
+        loop {
+            let mut fired_in_iteration = false;
+            while let Some(a) = self.policy.next_actor() {
+                let cost = self.fire_one(workflow, a)?;
+                if cost.is_some() {
+                    fired_in_iteration = true;
+                }
+                // Post-firing housekeeping: drain, readiness, timeouts.
+                self.sync_external(workflow);
+                let now = self.mode.now();
+                {
+                    let st = self.state.as_mut().expect("initialized");
+                    if st.fabric.next_deadline().is_some_and(|d| d <= now) {
+                        st.fabric.poll_all(now);
+                    }
+                }
+                self.sync_external(workflow);
+                let st = self.state.as_mut().expect("initialized");
+                self.policy
+                    .after_fire(a, cost.unwrap_or(Micros::ZERO), st.queues[a].len(), &st.stats);
+                if let Some(c) = cost {
+                    spent += c;
+                }
+                if let Some(limit) = self.deadline {
+                    if now > limit {
+                        self.finish(workflow)?;
+                        return Ok(Progress::Finished);
+                    }
+                }
+                if let Some(b) = budget {
+                    if spent >= b {
+                        // Pause the slice; the next run_for call determines
+                        // whether work actually remains.
+                        return Ok(Progress::BudgetExhausted);
+                    }
+                }
+            }
+            let reactivated = {
+                let st = self.state.as_ref().expect("initialized");
+                self.policy.end_iteration(&st.stats)
+            };
+            if fired_in_iteration || reactivated {
+                continue;
+            }
+            // Quiescent: find the next interesting instant.
+            let st = self.state.as_ref().expect("initialized");
+            let next_arrival = st
+                .source_ids
+                .iter()
+                .filter(|&&s| !st.source_exhausted[s])
+                .filter_map(|&s| {
+                    workflow
+                        .node(ActorId(s))
+                        .peek_actor()
+                        .and_then(|a| a.next_arrival())
+                })
+                .min();
+            let next_deadline = st.fabric.next_deadline();
+            let wake = match (next_arrival, next_deadline) {
+                (Some(a), Some(d)) => Some(a.min(d)),
+                (x, None) => x,
+                (None, y) => y,
+            };
+            if let Some(t) = wake {
+                return Ok(Progress::IdleUntil(t));
+            }
+            let st = self.state.as_mut().expect("initialized");
+            if !st.closed {
+                st.closed = true;
+                let now = self.mode.now();
+                for id in st.topo.clone() {
+                    st.fabric.close_actor_outputs(id, now);
+                }
+                self.sync_external(workflow);
+                continue;
+            }
+            self.finish(workflow)?;
+            return Ok(Progress::Finished);
+        }
+    }
+
+    /// Notify the core that its clock was advanced externally (or sleep to
+    /// `t` in real mode): window timeouts are evaluated and sources
+    /// refreshed.
+    pub fn advance_to(&mut self, workflow: &Workflow, t: Timestamp) {
+        match &self.mode {
+            TimeMode::Virtual { clock, .. } => clock.advance_to(t),
+            TimeMode::Real { clock } => {
+                let now = clock.now();
+                if t > now {
+                    std::thread::sleep(t.since(now).to_std());
+                }
+            }
+        }
+        if self.state.is_some() {
+            let now = self.mode.now();
+            {
+                let st = self.state.as_mut().expect("checked");
+                st.fabric.poll_all(now);
+            }
+            self.sync_external(workflow);
+        }
+    }
+
+    /// Fire one actor; returns its cost, or `None` if the firing was
+    /// skipped (prefire false / nothing queued).
+    fn fire_one(&mut self, workflow: &mut Workflow, a: usize) -> Result<Option<Micros>> {
+        let id = ActorId(a);
+        let is_source = workflow.node(id).is_source;
+        let fire_start = self.mode.now();
+        let st = self.state.as_mut().expect("initialized");
+        let ctx = &mut st.contexts[a];
+        ctx.set_now(fire_start);
+        if !is_source {
+            match st.queues[a].pop_front() {
+                Some((port, w)) => ctx.deliver(port, w),
+                None => return Ok(None),
+            }
+        }
+        let fired = {
+            let actor = workflow.node_mut(id).actor_mut();
+            if actor.prefire(ctx)? {
+                actor.fire(ctx)?;
+                true
+            } else {
+                false
+            }
+        };
+        let ctx = &mut st.contexts[a];
+        let consumed = ctx.consumed_events;
+        let (emissions, trigger) = ctx.take_emissions();
+        let produced = emissions.len() as u64;
+        let cost = if fired {
+            match &self.mode {
+                TimeMode::Virtual { clock, cost } => {
+                    let c = cost.firing_cost(a, &workflow.node(id).name, consumed, produced)
+                        + self.scheduler_overhead;
+                    clock.advance(c);
+                    c
+                }
+                TimeMode::Real { clock } => clock.now().since(fire_start),
+            }
+        } else {
+            Micros::ZERO
+        };
+        if fired {
+            self.report.firings += 1;
+            st.stats.record_firing(a, cost, consumed, produced, fire_start);
+        }
+        // External events are stamped at the source's firing start — that
+        // is when they entered the workflow; the firing cost that follows
+        // is the first component of their response time. Derived events
+        // are stamped at production (firing completion).
+        let (parent, stamp_at) = if is_source {
+            (None, fire_start)
+        } else {
+            (trigger, self.mode.now())
+        };
+        self.report.events_routed += st.fabric.route(id, emissions, parent.as_ref(), stamp_at)?;
+        {
+            let actor = workflow.node_mut(id).actor_mut();
+            let ctx = &mut st.contexts[a];
+            let _ = actor.postfire(ctx)?;
+        }
+        Ok(if fired { Some(cost) } else { None })
+    }
+
+    fn finish(&mut self, workflow: &mut Workflow) -> Result<()> {
+        let st = self.state.as_mut().expect("initialized");
+        if st.wrapped_up {
+            return Ok(());
+        }
+        st.wrapped_up = true;
+        for id in workflow.actor_ids() {
+            workflow.node_mut(id).actor_mut().wrapup()?;
+        }
+        if let Some(started) = self.started {
+            self.report.elapsed = self.mode.now().since(started);
+        }
+        Ok(())
+    }
+}
+
+/// The scheduled continuous-workflow director: drives an [`ScwfCore`] to
+/// completion over a single workflow.
+pub struct ScwfDirector {
+    core: ScwfCore,
+}
+
+impl ScwfDirector {
+    /// Virtual-time director with the given policy and cost model.
+    pub fn virtual_time(policy: Box<dyn Scheduler>, cost: Box<dyn CostModel>) -> Self {
+        ScwfDirector {
+            core: ScwfCore::new_virtual(policy, cost, Arc::new(VirtualClock::new())),
+        }
+    }
+
+    /// Virtual-time director sharing a caller-provided clock.
+    pub fn virtual_time_on(
+        policy: Box<dyn Scheduler>,
+        cost: Box<dyn CostModel>,
+        clock: Arc<VirtualClock>,
+    ) -> Self {
+        ScwfDirector {
+            core: ScwfCore::new_virtual(policy, cost, clock),
+        }
+    }
+
+    /// Real-time director: costs are measured on the wall clock.
+    pub fn real_time(policy: Box<dyn Scheduler>) -> Self {
+        ScwfDirector {
+            core: ScwfCore::new_real(policy),
+        }
+    }
+
+    /// Set the per-decision scheduler overhead (virtual mode).
+    pub fn with_scheduler_overhead(mut self, o: Micros) -> Self {
+        self.core.scheduler_overhead = o;
+        self
+    }
+
+    /// Set a hard run deadline.
+    pub fn with_deadline(mut self, t: Timestamp) -> Self {
+        self.core.deadline = Some(t);
+        self
+    }
+
+    /// The statistics module of the last run.
+    pub fn last_stats(&self) -> Option<&StatsModule> {
+        self.core.stats()
+    }
+
+    /// The policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.core.policy_name()
+    }
+
+    /// The core's current time.
+    pub fn now(&self) -> Timestamp {
+        self.core.now()
+    }
+}
+
+impl Director for ScwfDirector {
+    fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
+        loop {
+            match self.core.run_for(workflow, None)? {
+                Progress::Finished => break,
+                Progress::IdleUntil(t) => {
+                    if let Some(limit) = self.core.deadline {
+                        if t > limit {
+                            // Nothing more can happen before the deadline.
+                            self.core.finish(workflow)?;
+                            break;
+                        }
+                    }
+                    self.core.advance_to(workflow, t);
+                }
+                Progress::BudgetExhausted => unreachable!("no budget given"),
+            }
+        }
+        Ok(self.core.report().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+    use crate::policies::fifo::FifoScheduler;
+    use confluence_core::actors::{Collector, LatencyProbe, TimedSource, VecSource};
+    use confluence_core::graph::WorkflowBuilder;
+    use confluence_core::token::Token;
+    use confluence_core::window::WindowSpec;
+
+    fn fifo() -> Box<dyn Scheduler> {
+        Box::new(FifoScheduler::new(5))
+    }
+
+    #[test]
+    fn virtual_time_charges_costs() {
+        let probe = LatencyProbe::new();
+        let mut b = WorkflowBuilder::new("vt");
+        let s = b.add_actor(
+            "src",
+            TimedSource::new(vec![
+                (Timestamp(0), Token::Int(1)),
+                (Timestamp(1_000), Token::Int(2)),
+            ]),
+        );
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let cost = TableCostModel::uniform(Micros(100), Micros::ZERO);
+        let mut d = ScwfDirector::virtual_time(fifo(), Box::new(cost));
+        let report = d.run(&mut wf).unwrap();
+        assert_eq!(probe.len(), 2);
+        // Origin = source firing start; the probe samples at the start of
+        // its own firing, after the source's 100µs cost was charged.
+        let samples = probe.samples();
+        assert_eq!(samples[0].latency, Micros(100));
+        assert!(report.firings >= 4);
+        assert!(d.last_stats().is_some());
+        let stats = d.last_stats().unwrap();
+        assert!(stats.actor(1).invocations >= 2);
+    }
+
+    #[test]
+    fn quiescent_clock_jumps_to_next_arrival() {
+        let probe = LatencyProbe::new();
+        let mut b = WorkflowBuilder::new("jump");
+        let s = b.add_actor(
+            "src",
+            TimedSource::new(vec![(Timestamp(1_000_000), Token::Int(1))]),
+        );
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let cost = TableCostModel::uniform(Micros(10), Micros::ZERO);
+        let mut d = ScwfDirector::virtual_time(fifo(), Box::new(cost));
+        d.run(&mut wf).unwrap();
+        let samples = probe.samples();
+        assert_eq!(samples.len(), 1);
+        // The event was processed shortly after its arrival at t=1s, not
+        // at t=0 — and the run did not take 1s of wall time.
+        assert!(samples[0].at >= Timestamp(1_000_000));
+        assert!(samples[0].latency < Micros(1_000));
+    }
+
+    #[test]
+    fn overload_shows_growing_latency() {
+        // Arrivals every 100µs; service takes 300µs per event: the queue
+        // grows and response time climbs — the thrash mechanic.
+        let probe = LatencyProbe::new();
+        let schedule: Vec<(Timestamp, Token)> = (0..50)
+            .map(|i| (Timestamp(i * 100), Token::Int(i as i64)))
+            .collect();
+        let mut b = WorkflowBuilder::new("overload");
+        let s = b.add_actor("src", TimedSource::new(schedule));
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let cost = TableCostModel::uniform(Micros::ZERO, Micros::ZERO)
+            .with_actor("probe", Micros(300), Micros::ZERO);
+        let mut d = ScwfDirector::virtual_time(fifo(), Box::new(cost));
+        d.run(&mut wf).unwrap();
+        let samples = probe.samples();
+        assert_eq!(samples.len(), 50);
+        let first = samples[0].latency;
+        let last = samples.last().unwrap().latency;
+        assert!(
+            last.as_micros() > first.as_micros() + 5_000,
+            "latency should grow under overload: first={first}, last={last}"
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_the_run() {
+        let probe = LatencyProbe::new();
+        let schedule: Vec<(Timestamp, Token)> = (0..1000)
+            .map(|i| (Timestamp(i * 1_000), Token::Int(i as i64)))
+            .collect();
+        let mut b = WorkflowBuilder::new("bounded");
+        let s = b.add_actor("src", TimedSource::new(schedule));
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let cost = TableCostModel::uniform(Micros(10), Micros::ZERO);
+        let mut d = ScwfDirector::virtual_time(fifo(), Box::new(cost))
+            .with_deadline(Timestamp(100_000));
+        d.run(&mut wf).unwrap();
+        assert!(probe.len() < 1000, "run stopped early");
+        assert!(probe.len() > 50);
+    }
+
+    #[test]
+    fn windows_and_flush_under_scwf() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("win");
+        let s = b.add_actor("src", VecSource::new((0..5).map(Token::Int).collect()));
+        let agg = b.add_actor(
+            "agg",
+            confluence_core::actors::FnActor::new(
+                confluence_core::actor::IoSignature::transform("in", "out"),
+                |w, emit| {
+                    emit(0, Token::Int(w.len() as i64));
+                    Ok(())
+                },
+            ),
+        );
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(s, "out", agg, "in", WindowSpec::tuples(2, 2))
+            .unwrap();
+        b.connect(agg, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let cost = TableCostModel::uniform(Micros(1), Micros::ZERO);
+        ScwfDirector::virtual_time(fifo(), Box::new(cost))
+            .run(&mut wf)
+            .unwrap();
+        // Two full 2-windows plus the flushed 1-window.
+        assert_eq!(
+            c.tokens(),
+            vec![Token::Int(2), Token::Int(2), Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn real_time_mode_works() {
+        let probe = LatencyProbe::new();
+        let mut b = WorkflowBuilder::new("rt");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let mut d = ScwfDirector::real_time(fifo());
+        assert_eq!(d.policy_name(), "FIFO");
+        d.run(&mut wf).unwrap();
+        assert_eq!(probe.len(), 1);
+    }
+
+    #[test]
+    fn real_time_mode_sleeps_to_arrivals() {
+        // Arrivals 5 ms apart: the idle branch must sleep the wall clock
+        // forward rather than spin or jump.
+        let probe = LatencyProbe::new();
+        let schedule: Vec<(Timestamp, Token)> = (0..4)
+            .map(|i| (Timestamp::from_millis(i * 5), Token::Int(i as i64)))
+            .collect();
+        let mut b = WorkflowBuilder::new("rt-sleep");
+        let s = b.add_actor("src", TimedSource::new(schedule));
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let started = std::time::Instant::now();
+        ScwfDirector::real_time(fifo()).run(&mut wf).unwrap();
+        assert_eq!(probe.len(), 4);
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(15),
+            "run must take at least the schedule span"
+        );
+    }
+
+    #[test]
+    fn stepped_execution_with_budget() {
+        let probe = LatencyProbe::new();
+        let schedule: Vec<(Timestamp, Token)> = (0..20)
+            .map(|i| (Timestamp(i), Token::Int(i as i64)))
+            .collect();
+        let mut b = WorkflowBuilder::new("stepped");
+        let s = b.add_actor("src", TimedSource::new(schedule));
+        let k = b.add_actor("probe", probe.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let clock = Arc::new(VirtualClock::new());
+        let cost = TableCostModel::uniform(Micros(100), Micros::ZERO);
+        let mut core = ScwfCore::new_virtual(fifo(), Box::new(cost), clock);
+        let mut slices = 0;
+        loop {
+            slices += 1;
+            match core.run_for(&mut wf, Some(Micros(300))).unwrap() {
+                Progress::Finished => break,
+                Progress::IdleUntil(t) => core.advance_to(&wf, t),
+                Progress::BudgetExhausted => { /* next slice */ }
+            }
+            assert!(slices < 1_000, "must terminate");
+        }
+        assert_eq!(probe.len(), 20);
+        assert!(slices > 3, "budget forced multiple slices");
+    }
+}

@@ -1,0 +1,68 @@
+//! Run the Linear Road benchmark end-to-end and print its QoS report —
+//! the paper's evaluation in miniature.
+//!
+//! ```text
+//! cargo run --release --example linear_road
+//! ```
+
+use confluence::core::director::Director;
+use confluence::linearroad::{self, golden, LrOptions, Workload, WorkloadConfig};
+use confluence::sched::policies::QbsScheduler;
+use confluence::sched::ScwfDirector;
+
+fn main() -> confluence::prelude::Result<()> {
+    // A quarter-scale workload keeps the example quick even in debug mode.
+    let config = WorkloadConfig {
+        l_rating: 0.125,
+        ..WorkloadConfig::paper()
+    };
+    let workload = Workload::generate(config);
+    println!(
+        "workload: {} position reports over {} s",
+        workload.len(),
+        workload.config.duration_secs
+    );
+
+    let mut lr = linearroad::build(&workload, &LrOptions::default())?;
+    let policy = Box::new(QbsScheduler::new(500, 5));
+    let cost = Box::new(confluence::linearroad::cost::staf_cost_model());
+    let mut director = ScwfDirector::virtual_time(policy, cost);
+    let report = director.run(&mut lr.workflow)?;
+
+    println!("firings: {}, events routed: {}", report.firings, report.events_routed);
+    println!("toll notifications:     {}", lr.toll_output.len());
+    println!("accident alerts:        {}", lr.accident_output.len());
+    let accidents = lr
+        .store
+        .read(|s| s.table("accidents").map(|t| t.len()).unwrap_or(0));
+    println!("accidents in the store: {accidents}");
+
+    let series = confluence::linearroad::ResponseSeries::new(lr.toll_output.latency_samples());
+    println!("\nresponse time at TollNotification:");
+    println!("  mean: {:.3} s   p95: {:.3} s", series.mean_secs(), series.percentile_secs(95.0));
+    match series.thrash_point(10, 4.0, 2) {
+        Some(t) => println!("  thrashed at {t} s"),
+        None => println!("  never thrashed (offered load stayed under capacity)"),
+    }
+
+    // Validate against the engine-independent golden model.
+    let gold = golden::compute(&workload);
+    let idx = gold.toll_index();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for item in lr.toll_output.items() {
+        let n = confluence::linearroad::TollNotification::from_token(&item.token)?;
+        total += 1;
+        if idx
+            .get(&(n.carid, n.time))
+            .is_some_and(|&t| (t - n.toll).abs() < 1e-6)
+        {
+            agree += 1;
+        }
+    }
+    println!(
+        "\ngolden-model agreement: {agree}/{total} tolls exact ({:.1}%)",
+        100.0 * agree as f64 / total.max(1) as f64
+    );
+    Ok(())
+}

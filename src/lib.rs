@@ -1,0 +1,35 @@
+//! # confluence
+//!
+//! Facade crate for **CONFLuEnCE** — the CONtinuous workFLow ExeCution
+//! Engine — and its **STAFiLOS** stream-flow scheduling framework, a Rust
+//! reproduction of Neophytou, Chrysanthis & Labrinidis (SIGMOD 2011 /
+//! SWEET 2013).
+//!
+//! This crate re-exports the workspace members:
+//!
+//! * [`core`] — the continuous-workflow model: tokens, waves, windows,
+//!   receivers, actors, and the PNCWF/SDF/DDF/DE directors;
+//! * [`sched`] — STAFiLOS: the scheduled CWF director, the abstract
+//!   scheduler, and the QBS/RR/RB policies;
+//! * [`relstore`] — the embedded relational store substrate;
+//! * [`linearroad`] — the Linear Road benchmark as a continuous workflow.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use confluence_core as core;
+pub use confluence_linearroad as linearroad;
+pub use confluence_relstore as relstore;
+pub use confluence_sched as sched;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use confluence_core::actor::{Actor, FireContext, IoSignature};
+    pub use confluence_core::actors::*;
+    pub use confluence_core::director::threaded::ThreadedDirector;
+    pub use confluence_core::director::Director;
+    pub use confluence_core::error::{Error, Result};
+    pub use confluence_core::graph::{ActorId, Workflow, WorkflowBuilder};
+    pub use confluence_core::time::{Micros, Timestamp};
+    pub use confluence_core::token::Token;
+    pub use confluence_core::window::{GroupBy, Measure, Window, WindowSpec};
+}

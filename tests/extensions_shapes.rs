@@ -1,0 +1,48 @@
+//! Shape tests for the extension experiments (paper §4.3 discussion and
+//! §5 future work, implemented here).
+
+use confluence_bench::config::ExperimentConfig;
+use confluence_bench::extensions;
+
+#[test]
+fn load_shedding_bounds_the_saturated_tail() {
+    let r = extensions::shedding_experiment(&ExperimentConfig::quick());
+    assert!(r.shed_fraction > 0.0, "the shedder dropped something");
+    assert!(r.shed_fraction < 0.5, "but not half the stream");
+    assert!(
+        r.tail_mean_shed < 0.8 * r.tail_mean_no_shed,
+        "shedding must cut the saturated-tail response materially: \
+         {:.2}s vs {:.2}s",
+        r.tail_mean_shed,
+        r.tail_mean_no_shed
+    );
+}
+
+#[test]
+fn capacity_shares_differentiate_workflow_instances() {
+    let r = extensions::multi_workflow_experiment(&ExperimentConfig::quick());
+    assert!(
+        r.premium_mean < r.basic_mean,
+        "the 4-share instance ({:.2}s) must beat the 1-share one ({:.2}s)",
+        r.premium_mean,
+        r.basic_mean
+    );
+}
+
+#[test]
+fn scheduler_overhead_erodes_capacity_monotonically() {
+    let rows = extensions::ablations(&ExperimentConfig::quick());
+    let overhead_rows: Vec<_> = rows
+        .iter()
+        .filter(|r| r.label.starts_with("scheduler overhead"))
+        .collect();
+    assert_eq!(overhead_rows.len(), 3);
+    // More per-decision overhead → earlier (or equal) thrash and worse
+    // (or equal) pre-saturation response.
+    for pair in overhead_rows.windows(2) {
+        assert!(pair[0].mean_pre_secs <= pair[1].mean_pre_secs + 1e-9);
+        if let (Some(a), Some(b)) = (pair[0].thrash_secs, pair[1].thrash_secs) {
+            assert!(a >= b, "overhead must not delay thrash: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Failure injection: an actor erroring mid-run must surface cleanly from
+//! every director (no hang, no panic, the error preserved).
+
+use confluence::core::actor::{Actor, FireContext, IoSignature, SdfRates};
+use confluence::core::actors::VecSource;
+use confluence::core::director::ddf::DdfDirector;
+use confluence::core::director::de::DeDirector;
+use confluence::core::director::sdf::SdfDirector;
+use confluence::core::director::threaded::ThreadedDirector;
+use confluence::core::director::Director;
+use confluence::core::error::{Error, Result};
+use confluence::core::graph::{Workflow, WorkflowBuilder};
+use confluence::core::time::Micros;
+use confluence::core::token::Token;
+use confluence::sched::cost::TableCostModel;
+use confluence::sched::policies::QbsScheduler;
+use confluence::sched::ScwfDirector;
+
+/// Fails on the N-th firing.
+struct FailsAfter {
+    remaining: u32,
+    rated: bool,
+}
+
+impl Actor for FailsAfter {
+    fn signature(&self) -> IoSignature {
+        IoSignature::sink("in")
+    }
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        while let Some(_w) = ctx.get(0) {
+            if self.remaining == 0 {
+                return Err(Error::actor("failer", "fire", "injected fault"));
+            }
+            self.remaining -= 1;
+        }
+        Ok(())
+    }
+    fn rates(&self) -> Option<SdfRates> {
+        if self.rated {
+            Some(SdfRates {
+                consume: vec![1],
+                produce: vec![],
+            })
+        } else {
+            None
+        }
+    }
+}
+
+struct RatedSource(Vec<Token>);
+impl Actor for RatedSource {
+    fn signature(&self) -> IoSignature {
+        IoSignature::source("out")
+    }
+    fn prefire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.0.is_empty())
+    }
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        ctx.emit(0, self.0.remove(0));
+        Ok(())
+    }
+    fn postfire(&mut self, _ctx: &mut dyn FireContext) -> Result<bool> {
+        Ok(!self.0.is_empty())
+    }
+    fn is_source(&self) -> bool {
+        true
+    }
+    fn next_arrival(&self) -> Option<confluence::core::time::Timestamp> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(confluence::core::time::Timestamp::ZERO)
+        }
+    }
+    fn rates(&self) -> Option<SdfRates> {
+        Some(SdfRates {
+            consume: vec![],
+            produce: vec![1],
+        })
+    }
+}
+
+fn faulty_workflow(rated: bool) -> Workflow {
+    let mut b = WorkflowBuilder::new("faulty");
+    let s = if rated {
+        b.add_actor("src", RatedSource((0..10).map(Token::Int).collect()))
+    } else {
+        b.add_actor("src", VecSource::new((0..10).map(Token::Int).collect()))
+    };
+    let k = b.add_actor("failer", FailsAfter { remaining: 3, rated });
+    b.connect(s, "out", k, "in").unwrap();
+    b.build().unwrap()
+}
+
+fn assert_injected(err: Error) {
+    match err {
+        Error::Actor { actor, message, .. } => {
+            assert_eq!(actor, "failer");
+            assert_eq!(message, "injected fault");
+        }
+        other => panic!("unexpected error kind: {other}"),
+    }
+}
+
+#[test]
+fn threaded_surfaces_actor_errors() {
+    let mut wf = faulty_workflow(false);
+    assert_injected(ThreadedDirector::new().run(&mut wf).unwrap_err());
+}
+
+#[test]
+fn ddf_surfaces_actor_errors() {
+    let mut wf = faulty_workflow(false);
+    assert_injected(DdfDirector::new().run(&mut wf).unwrap_err());
+}
+
+#[test]
+fn de_surfaces_actor_errors() {
+    let mut wf = faulty_workflow(false);
+    assert_injected(DeDirector::new().run(&mut wf).unwrap_err());
+}
+
+#[test]
+fn sdf_surfaces_actor_errors() {
+    let mut wf = faulty_workflow(true);
+    assert_injected(SdfDirector::new().run(&mut wf).unwrap_err());
+}
+
+#[test]
+fn scwf_surfaces_actor_errors() {
+    let mut wf = faulty_workflow(false);
+    let mut d = ScwfDirector::virtual_time(
+        Box::new(QbsScheduler::new(500, 5)),
+        Box::new(TableCostModel::uniform(Micros(10), Micros(1))),
+    );
+    assert_injected(d.run(&mut wf).unwrap_err());
+}
+
+#[test]
+fn failing_initialize_surfaces_too() {
+    struct BadInit;
+    impl Actor for BadInit {
+        fn signature(&self) -> IoSignature {
+            IoSignature::sink("in")
+        }
+        fn initialize(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+            Err(Error::actor("badinit", "initialize", "nope"))
+        }
+        fn fire(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+            Ok(())
+        }
+    }
+    let mut b = WorkflowBuilder::new("bad-init");
+    let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+    let k = b.add_actor("badinit", BadInit);
+    b.connect(s, "out", k, "in").unwrap();
+    let mut wf = b.build().unwrap();
+    let err = DdfDirector::new().run(&mut wf).unwrap_err();
+    assert!(matches!(err, Error::Actor { .. }));
+}

@@ -1,0 +1,47 @@
+//! Table 1: the taxonomy registry matches the paper's table and this
+//! repository's implementations.
+
+use confluence::core::director::taxonomy::{taxonomy, Qos, Scheduling};
+
+#[test]
+fn taxonomy_rows_cover_the_paper_table() {
+    let t = taxonomy();
+    let names: Vec<&str> = t.iter().map(|r| r.name).collect();
+    // First group (Kepler), second group (PtolemyII), plus the CWf rows.
+    for n in ["SDF", "DDF", "PN", "DE", "CN", "CI", "CSP", "DT", "HDF", "SR", "TM", "TPN", "PNCWF", "SCWF"] {
+        assert!(names.contains(&n), "missing taxonomy row {n}");
+    }
+}
+
+#[test]
+fn implemented_directors_exist_in_the_code_base() {
+    // The registry's `implemented` flags are promises; check each one
+    // against a real type.
+    use confluence::core::director::ddf::DdfDirector;
+    use confluence::core::director::de::DeDirector;
+    use confluence::core::director::sdf::SdfDirector;
+    use confluence::core::director::threaded::ThreadedDirector;
+    use confluence::sched::ScwfDirector;
+    let _ = SdfDirector::new();
+    let _ = DdfDirector::new();
+    let _ = DeDirector::new();
+    let _ = ThreadedDirector::new();
+    let _ = ScwfDirector::real_time(Box::new(confluence::sched::FifoScheduler::new(5)));
+    let implemented: Vec<&str> = taxonomy()
+        .into_iter()
+        .filter(|r| r.implemented)
+        .map(|r| r.name)
+        .collect();
+    assert_eq!(implemented, vec!["SDF", "DDF", "DE", "PNCWF", "SCWF"]);
+}
+
+#[test]
+fn only_scwf_offers_pluggable_qos_scheduling() {
+    for row in taxonomy() {
+        let pluggable = row.scheduling == Scheduling::Pluggable;
+        assert_eq!(pluggable, row.name == "SCWF");
+        if row.name == "SCWF" {
+            assert_eq!(row.qos, Qos::Pluggable);
+        }
+    }
+}
