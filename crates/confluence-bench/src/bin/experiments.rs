@@ -12,8 +12,10 @@
 //! as a CSV file under DIR (plot-ready artifacts).
 
 use confluence_bench::config::ExperimentConfig;
+use confluence_bench::runner::{run_linear_road, PolicyKind};
 use confluence_bench::{extensions, figures};
 use confluence_core::director::taxonomy;
+use confluence_linearroad::Workload;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +56,16 @@ fn main() {
         let series = figures::fig5_workload(&config);
         println!("{}", figures::render_fig5(&series));
         write_csv("fig5_workload.csv", figures::fig5_to_csv(&series));
+        // One representative run over the fig5 workload, with the
+        // telemetry layer's per-actor metrics table.
+        let workload = Workload::generate(config.workload());
+        let run = run_linear_road(PolicyKind::Qbs { basic_quantum: 500 }, &workload, &config);
+        println!(
+            "Per-actor metrics over the Figure 5 workload ({}):\n\n{}",
+            run.label,
+            run.metrics.render_table()
+        );
+        write_csv("fig5_actor_metrics.json", run.metrics.to_json());
     }
     if all || has("--fig6") {
         let curves = figures::fig6_rr_sensitivity(&config);

@@ -1,6 +1,9 @@
 //! Shared experiment runner: one Linear Road run under one scheduler.
 
+use std::sync::Arc;
+
 use confluence_core::director::Director;
+use confluence_core::telemetry::{MetricsRecorder, MetricsSnapshot, Telemetry};
 use confluence_core::time::{Micros, Timestamp};
 use confluence_linearroad::cost::{pncwf_cost_model, staf_cost_model};
 use confluence_linearroad::{build, LrOptions, ResponseSeries, Workload};
@@ -96,6 +99,8 @@ pub struct LrRun {
     /// Fraction of position reports dropped by the shedder (0 when
     /// shedding is off).
     pub shed_fraction: f64,
+    /// Per-actor metrics from the core telemetry recorder.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run the Linear Road workflow under one scheduler in virtual time.
@@ -149,6 +154,8 @@ pub fn run_linear_road_with(
     let mut director = ScwfDirector::virtual_time(policy, cost)
         .with_scheduler_overhead(options.scheduler_overhead)
         .with_deadline(Timestamp::from_secs(config.duration_secs + 20));
+    let recorder = Arc::new(MetricsRecorder::for_workflow(&lr.workflow));
+    director.instrument(Telemetry::new(recorder.clone()));
     let report = director.run(&mut lr.workflow).expect("run succeeds");
 
     let toll_series = ResponseSeries::new(lr.toll_output.latency_samples());
@@ -167,6 +174,7 @@ pub fn run_linear_road_with(
         thrash_secs,
         firings: report.firings,
         shed_fraction,
+        metrics: recorder.snapshot(),
     }
 }
 

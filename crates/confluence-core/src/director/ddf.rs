@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::graph::{ActorId, Workflow};
+use crate::telemetry::{FireRecord, RunPhase, Telemetry};
 use crate::time::{SharedClock, VirtualClock};
 
 use super::{Director, Fabric, QueueContext, RunReport};
@@ -19,6 +20,7 @@ pub struct DdfDirector {
     /// Safety bound against runaway graphs (cycles that generate tokens
     /// forever). Exceeding it is an error.
     pub max_firings: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for DdfDirector {
@@ -33,6 +35,7 @@ impl DdfDirector {
         DdfDirector {
             clock: Arc::new(VirtualClock::new()),
             max_firings: 1_000_000,
+            telemetry: None,
         }
     }
 
@@ -67,12 +70,36 @@ impl DdfDirector {
         ctx.set_now(now);
         ctx.deliver(port, window);
         let actor = workflow.node_mut(id).actor_mut();
+        if let Some(t) = &self.telemetry {
+            t.observer.on_fire_start(id, now);
+        }
+        let mut fired = false;
+        let mut events_in = 0u64;
+        let mut tokens_out = 0u64;
+        let mut origin = None;
         if actor.prefire(ctx)? {
             actor.fire(ctx)?;
+            fired = true;
             report.firings += 1;
+            events_in = ctx.consumed_events;
             let (emissions, trigger) = ctx.take_emissions();
+            tokens_out = emissions.len() as u64;
+            origin = trigger.as_ref().map(|w| w.origin());
             report.events_routed += fabric.route(id, emissions, trigger.as_ref(), now)?;
             report.events_routed += fabric.route_expired(now)?;
+        }
+        if let Some(t) = &self.telemetry {
+            let ended = self.clock.now();
+            t.observer.on_fire_end(&FireRecord {
+                actor: id,
+                started: now,
+                ended,
+                busy: ended.since(now),
+                events_in,
+                tokens_out,
+                origin,
+                fired,
+            });
         }
         if !actor.postfire(ctx)? {
             done[id.0] = true;
@@ -83,8 +110,12 @@ impl DdfDirector {
 
 impl Director for DdfDirector {
     fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
-        let fabric = Fabric::build(workflow)?;
+        let observer = self.telemetry.as_ref().map(|t| t.observer.clone());
+        let fabric = Fabric::build_observed(workflow, observer)?;
         let started = self.clock.now();
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Start, started);
+        }
         let mut report = RunReport::default();
         let mut contexts: Vec<QueueContext> = workflow
             .actor_ids()
@@ -102,6 +133,9 @@ impl Director for DdfDirector {
 
         let sources = workflow.sources();
         loop {
+            if self.telemetry.as_ref().is_some_and(|t| t.should_stop()) {
+                break;
+            }
             let mut progress = false;
             // Data-driven phase: fire every actor with ready windows.
             for id in workflow.actor_ids() {
@@ -131,10 +165,27 @@ impl Director for DdfDirector {
                 ctx.set_now(now);
                 let actor = workflow.node_mut(id).actor_mut();
                 if actor.prefire(ctx)? {
+                    if let Some(t) = &self.telemetry {
+                        t.observer.on_fire_start(id, now);
+                    }
                     actor.fire(ctx)?;
                     report.firings += 1;
                     let (emissions, _) = ctx.take_emissions();
+                    let tokens_out = emissions.len() as u64;
                     report.events_routed += fabric.route(id, emissions, None, now)?;
+                    if let Some(t) = &self.telemetry {
+                        let ended = self.clock.now();
+                        t.observer.on_fire_end(&FireRecord {
+                            actor: id,
+                            started: now,
+                            ended,
+                            busy: ended.since(now),
+                            events_in: 0,
+                            tokens_out,
+                            origin: None,
+                            fired: true,
+                        });
+                    }
                     progress = true;
                 }
                 if !actor.postfire(ctx)? {
@@ -150,6 +201,9 @@ impl Director for DdfDirector {
         // Closure cascade in topological-ish order: closing an actor's
         // outputs flushes downstream partial windows, which may enable more
         // firings before those actors close in turn.
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Close, self.clock.now());
+        }
         let order = quasi_topological(workflow);
         for id in order {
             fabric.close_actor_outputs(id, self.clock.now());
@@ -170,11 +224,22 @@ impl Director for DdfDirector {
                 }
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Wrapup, self.clock.now());
+        }
         for id in workflow.actor_ids() {
             workflow.node_mut(id).actor_mut().wrapup()?;
         }
         report.elapsed = self.clock.now().since(started);
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::End, self.clock.now());
+        }
         Ok(report)
+    }
+
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        self.telemetry = Some(telemetry);
+        true
     }
 }
 

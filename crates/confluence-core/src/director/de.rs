@@ -14,6 +14,7 @@ use std::sync::Arc;
 use crate::error::Result;
 use crate::event::CwEvent;
 use crate::graph::{ActorId, PortRef, Workflow};
+use crate::telemetry::{FireRecord, RunPhase, Telemetry};
 use crate::time::{Clock, Micros, Timestamp, VirtualClock};
 
 use super::{Director, Fabric, QueueContext, RunReport};
@@ -56,6 +57,7 @@ pub struct DeDirector {
     clock: Arc<VirtualClock>,
     /// Fixed propagation delay added to every channel delivery.
     pub channel_delay: Micros,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for DeDirector {
@@ -70,6 +72,7 @@ impl DeDirector {
         DeDirector {
             clock: Arc::new(VirtualClock::new()),
             channel_delay: Micros::ZERO,
+            telemetry: None,
         }
     }
 
@@ -87,8 +90,13 @@ impl DeDirector {
 
 impl Director for DeDirector {
     fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
-        let fabric = Fabric::build(workflow)?;
+        let tele = self.telemetry.clone();
+        let observer = tele.as_ref().map(|t| t.observer.clone());
+        let fabric = Fabric::build_observed(workflow, observer)?;
         let started = self.clock.now();
+        if let Some(t) = &tele {
+            t.observer.on_run_phase(RunPhase::Start, started);
+        }
         let mut report = RunReport::default();
         let mut contexts: Vec<QueueContext> = workflow
             .actor_ids()
@@ -140,6 +148,9 @@ impl Director for DeDirector {
                     let now = self.clock.now();
                     let ctx = &mut contexts[id.0];
                     ctx.set_now(now);
+                    if let Some(t) = &tele {
+                        t.observer.on_fire_start(id, now);
+                    }
                     ctx.deliver(port, window);
                     let fired = {
                         let actor = workflow.node_mut(id).actor_mut();
@@ -150,9 +161,16 @@ impl Director for DeDirector {
                             false
                         }
                     };
+                    let mut events_in = 0u64;
+                    let mut tokens_out = 0u64;
+                    let mut origin = None;
                     if fired {
                         report.firings += 1;
+                        events_in = ctx.consumed_events;
                         let (emissions, trigger) = ctx.take_emissions();
+                        tokens_out = emissions.len() as u64;
+                        origin = trigger.as_ref().map(|w| w.origin());
+                        let mut delivered = 0u64;
                         if !emissions.is_empty() {
                             let stamped: Vec<(usize, CwEvent)> = match trigger {
                                 Some(ref p) => {
@@ -172,6 +190,7 @@ impl Director for DeDirector {
                             for (out_port, event) in stamped {
                                 for dest in &routes[id.0][out_port] {
                                     report.events_routed += 1;
+                                    delivered += 1;
                                     push(
                                         &mut heap,
                                         now.plus(self.channel_delay),
@@ -181,6 +200,25 @@ impl Director for DeDirector {
                                 }
                             }
                         }
+                        if let Some(t) = &tele {
+                            // DE schedules deliveries itself instead of
+                            // going through Fabric::route, so the routing
+                            // hook is reported manually.
+                            t.observer.on_route(id, delivered, now);
+                        }
+                    }
+                    if let Some(t) = &tele {
+                        let ended = self.clock.now();
+                        t.observer.on_fire_end(&FireRecord {
+                            actor: id,
+                            started: now,
+                            ended,
+                            busy: ended.since(now),
+                            events_in,
+                            tokens_out,
+                            origin,
+                            fired,
+                        });
                     }
                     let _ = workflow.node_mut(id).actor_mut().postfire(ctx)?;
                 }
@@ -188,6 +226,9 @@ impl Director for DeDirector {
         }
 
         while let Some(Reverse(entry)) = heap.pop() {
+            if tele.as_ref().is_some_and(|t| t.should_stop()) {
+                break;
+            }
             self.clock.advance_to(entry.time);
             match entry.agenda {
                 Agenda::SourceFire(id) => {
@@ -197,6 +238,9 @@ impl Director for DeDirector {
                     let fired = {
                         let actor = workflow.node_mut(id).actor_mut();
                         if actor.prefire(ctx)? {
+                            if let Some(t) = &tele {
+                                t.observer.on_fire_start(id, now);
+                            }
                             actor.fire(ctx)?;
                             true
                         } else {
@@ -206,10 +250,13 @@ impl Director for DeDirector {
                     if fired {
                         report.firings += 1;
                         let (emissions, _) = ctx.take_emissions();
+                        let tokens_out = emissions.len() as u64;
+                        let mut delivered = 0u64;
                         for (out_port, token) in emissions {
                             let event = CwEvent::external(token, now);
                             for dest in &routes[id.0][out_port] {
                                 report.events_routed += 1;
+                                delivered += 1;
                                 push(
                                     &mut heap,
                                     now.plus(self.channel_delay),
@@ -217,6 +264,19 @@ impl Director for DeDirector {
                                     &mut seq,
                                 );
                             }
+                        }
+                        if let Some(t) = &tele {
+                            t.observer.on_route(id, delivered, now);
+                            t.observer.on_fire_end(&FireRecord {
+                                actor: id,
+                                started: now,
+                                ended: now,
+                                busy: Micros::ZERO,
+                                events_in: 0,
+                                tokens_out,
+                                origin: None,
+                                fired,
+                            });
                         }
                     }
                     if workflow.node_mut(id).actor_mut().postfire(ctx)? {
@@ -232,7 +292,7 @@ impl Director for DeDirector {
                 }
                 Agenda::Deliver(dest, event) => {
                     let now = self.clock.now();
-                    fabric.receivers(dest.actor)[dest.port].put(event, now)?;
+                    fabric.deliver(dest, event, now)?;
                     if let Some(deadline) =
                         fabric.receivers(dest.actor)[dest.port].next_deadline()
                     {
@@ -242,26 +302,38 @@ impl Director for DeDirector {
                 }
                 Agenda::Poll(id) => {
                     let now = self.clock.now();
-                    for r in fabric.receivers(id) {
-                        r.poll(now);
-                    }
+                    fabric.poll_actor(id, now);
                     drain_inbox!(id);
                 }
             }
         }
 
         // End of stream: flush partial windows, upstream first.
+        if let Some(t) = &tele {
+            t.observer.on_run_phase(RunPhase::Close, self.clock.now());
+        }
         for id in super::ddf::quasi_topological(workflow) {
             fabric.close_actor_outputs(id, self.clock.now());
             for target in workflow.actor_ids() {
                 drain_inbox!(target);
             }
         }
+        if let Some(t) = &tele {
+            t.observer.on_run_phase(RunPhase::Wrapup, self.clock.now());
+        }
         for id in workflow.actor_ids() {
             workflow.node_mut(id).actor_mut().wrapup()?;
         }
         report.elapsed = self.clock.now().since(started);
+        if let Some(t) = &tele {
+            t.observer.on_run_phase(RunPhase::End, self.clock.now());
+        }
         Ok(report)
+    }
+
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        self.telemetry = Some(telemetry);
+        true
     }
 }
 

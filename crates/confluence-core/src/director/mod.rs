@@ -34,6 +34,7 @@ use crate::error::Result;
 use crate::event::{CwEvent, WaveStamper};
 use crate::graph::{ActorId, PortRef, Workflow};
 use crate::receiver::{ActorInbox, PortReceiver};
+use crate::telemetry::{Observer, Telemetry};
 use crate::time::{Micros, Timestamp};
 use crate::token::Token;
 use crate::wave::WaveTag;
@@ -55,6 +56,17 @@ pub trait Director {
     /// Execute the workflow until quiescence (sources exhausted and all
     /// derived events drained).
     fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport>;
+
+    /// Attach telemetry for subsequent runs: execution hooks flow to
+    /// `telemetry.observer` and the director polls `telemetry.control`
+    /// at firing boundaries for cooperative stops. Returns `true` when
+    /// the director honors the telemetry; the default implementation
+    /// ignores it and returns `false` so third-party directors keep
+    /// working unchanged.
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        let _ = telemetry;
+        false
+    }
 }
 
 /// The communication fabric for one workflow execution: an inbox per actor
@@ -67,11 +79,23 @@ pub struct Fabric {
     /// Destination of each (actor, input port)'s expired-items queue.
     expired_routes: Vec<Vec<Option<PortRef>>>,
     has_expired_routes: bool,
+    /// Telemetry sink for routing/window/expiry hooks, if instrumented.
+    observer: Option<Arc<dyn Observer>>,
 }
 
 impl Fabric {
     /// Build receivers and inboxes for every actor of the workflow.
     pub fn build(workflow: &Workflow) -> Result<Fabric> {
+        Self::build_observed(workflow, None)
+    }
+
+    /// [`Fabric::build`] with an observer receiving `on_route`,
+    /// `on_window_close`, and `on_expire` hooks for everything that moves
+    /// through the fabric.
+    pub fn build_observed(
+        workflow: &Workflow,
+        observer: Option<Arc<dyn Observer>>,
+    ) -> Result<Fabric> {
         // Expired-queue feeders per destination port: a handler port stays
         // open until every port whose expired events feed it has closed.
         let mut expired_feeders: std::collections::HashMap<(usize, usize), usize> =
@@ -138,7 +162,27 @@ impl Fabric {
             routes,
             expired_routes,
             has_expired_routes,
+            observer,
         })
+    }
+
+    /// The observer attached at build time, if any (directors that stamp
+    /// and deliver events outside [`Fabric::route`] report through it).
+    pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
+        self.observer.as_ref()
+    }
+
+    /// Report window formation on `dest` to the observer, including the
+    /// destination inbox depth (the queue-length statistic schedulers key
+    /// on).
+    fn note_windows(&self, dest: PortRef, windows: usize, now: Timestamp) {
+        if windows == 0 {
+            return;
+        }
+        if let Some(obs) = &self.observer {
+            let depth = self.inboxes[dest.actor.0].len();
+            obs.on_window_close(dest.actor, dest.port, windows, depth, now);
+        }
     }
 
     /// Deliver every port's expired events to its handler activity, if one
@@ -153,8 +197,15 @@ impl Fabric {
             for (p, dest) in ports.iter().enumerate() {
                 let Some(dest) = dest else { continue };
                 let events = self.receivers[a][p].drain_expired();
+                if events.is_empty() {
+                    continue;
+                }
+                if let Some(obs) = &self.observer {
+                    obs.on_expire(ActorId(a), p, events.len() as u64, now);
+                }
                 for event in events {
-                    self.receivers[dest.actor.index()][dest.port].put(event, now)?;
+                    let formed = self.receivers[dest.actor.index()][dest.port].put(event, now)?;
+                    self.note_windows(*dest, formed, now);
                     routed += 1;
                 }
             }
@@ -202,11 +253,45 @@ impl Fabric {
         let mut delivered = 0u64;
         for (port, event) in events {
             for dest in &self.routes[from.0][port] {
-                self.receivers[dest.actor.0][dest.port].put(event.clone(), now)?;
+                let formed = self.receivers[dest.actor.0][dest.port].put(event.clone(), now)?;
+                self.note_windows(*dest, formed, now);
                 delivered += 1;
             }
         }
+        if let Some(obs) = &self.observer {
+            obs.on_route(from, delivered, now);
+        }
         Ok(delivered)
+    }
+
+    /// Deliver one already-stamped event to a destination port, reporting
+    /// window formation to the observer. Used by directors (notably DE)
+    /// that stamp and schedule deliveries themselves instead of going
+    /// through [`Fabric::route`].
+    pub fn deliver(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<usize> {
+        let formed = self.receivers[dest.actor.0][dest.port].put(event, now)?;
+        self.note_windows(dest, formed, now);
+        Ok(formed)
+    }
+
+    /// Evaluate window timeouts on one actor's receivers at director time
+    /// `now`, reporting formations to the observer. Returns the number of
+    /// windows produced.
+    pub fn poll_actor(&self, id: ActorId, now: Timestamp) -> usize {
+        let mut formed = 0;
+        for (port, r) in self.receivers[id.0].iter().enumerate() {
+            let n = r.poll(now);
+            self.note_windows(
+                PortRef {
+                    actor: id,
+                    port,
+                },
+                n,
+                now,
+            );
+            formed += n;
+        }
+        formed
     }
 
     /// Propagate "actor finished" along its output channels: each
@@ -241,10 +326,8 @@ impl Fabric {
     /// Evaluate window timeouts on every receiver at director time `now`.
     /// Returns the number of windows produced.
     pub fn poll_all(&self, now: Timestamp) -> usize {
-        self.receivers
-            .iter()
-            .flatten()
-            .map(|r| r.poll(now))
+        (0..self.receivers.len())
+            .map(|a| self.poll_actor(ActorId(a), now))
             .sum()
     }
 

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::graph::Workflow;
+use crate::telemetry::{FireRecord, RunPhase, Telemetry};
 use crate::time::{SharedClock, VirtualClock};
 
 use super::{Director, Fabric, QueueContext, RunReport};
@@ -218,6 +219,7 @@ pub struct SdfDirector {
     clock: SharedClock,
     /// Maximum schedule iterations (`None` = until a source exhausts).
     pub max_iterations: Option<u64>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for SdfDirector {
@@ -232,6 +234,7 @@ impl SdfDirector {
         SdfDirector {
             clock: Arc::new(VirtualClock::new()),
             max_iterations: None,
+            telemetry: None,
         }
     }
 
@@ -245,8 +248,12 @@ impl SdfDirector {
 impl Director for SdfDirector {
     fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
         let schedule = compile_schedule(workflow)?;
-        let fabric = Fabric::build(workflow)?;
+        let observer = self.telemetry.as_ref().map(|t| t.observer.clone());
+        let fabric = Fabric::build_observed(workflow, observer)?;
         let started = self.clock.now();
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Start, started);
+        }
         let mut report = RunReport::default();
         let mut contexts: Vec<QueueContext> = workflow
             .actor_ids()
@@ -280,6 +287,9 @@ impl Director for SdfDirector {
                 if iteration >= max {
                     break;
                 }
+            }
+            if self.telemetry.as_ref().is_some_and(|t| t.should_stop()) {
+                break;
             }
             iteration += 1;
             for &a in &schedule.order {
@@ -329,6 +339,9 @@ impl Director for SdfDirector {
                     }
                     let node = workflow.node_mut(id);
                     let actor = node.actor_mut();
+                    if let Some(t) = &self.telemetry {
+                        t.observer.on_fire_start(id, now);
+                    }
                     if !actor.prefire(ctx)? {
                         if workflow.node(id).is_source {
                             // The stream is over; finish the iteration.
@@ -338,9 +351,31 @@ impl Director for SdfDirector {
                     }
                     actor.fire(ctx)?;
                     report.firings += 1;
+                    let events_in = ctx.consumed_events;
                     let (emissions, trigger) = ctx.take_emissions();
+                    let tokens_out = emissions.len() as u64;
+                    let origin = trigger.as_ref().map(|w| w.origin());
                     report.events_routed +=
                         fabric.route(id, emissions, trigger.as_ref(), self.clock.now())?;
+                    if let Some(t) = &self.telemetry {
+                        let ended = self.clock.now();
+                        t.observer.on_fire_end(&FireRecord {
+                            actor: id,
+                            started: now,
+                            ended,
+                            busy: ended.since(now),
+                            events_in,
+                            tokens_out,
+                            origin,
+                            fired: true,
+                        });
+                        if t.should_stop() {
+                            // Finish the schedule iteration (downstream
+                            // actors still consume in-flight tokens), then
+                            // end the run — same wind-down as a dry source.
+                            stopping = true;
+                        }
+                    }
                     if !actor.postfire(ctx)? {
                         stopping = true;
                     }
@@ -351,12 +386,23 @@ impl Director for SdfDirector {
             }
         }
 
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Wrapup, self.clock.now());
+        }
         for id in workflow.actor_ids() {
             workflow.node_mut(id).actor_mut().wrapup()?;
             fabric.close_actor_outputs(id, self.clock.now());
         }
         report.elapsed = self.clock.now().since(started);
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::End, self.clock.now());
+        }
         Ok(report)
+    }
+
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        self.telemetry = Some(telemetry);
+        true
     }
 }
 

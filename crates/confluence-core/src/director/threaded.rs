@@ -13,18 +13,25 @@
 
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use crate::actor::Actor;
 use crate::error::{Error, Result};
 use crate::graph::{ActorId, Workflow};
 use crate::receiver::InboxPop;
+use crate::telemetry::{FireRecord, RunPhase, Telemetry};
 use crate::time::{Clock, SharedClock, Timestamp, WallClock};
 
 use super::{Director, Fabric, QueueContext, RunReport};
 
+/// Longest uninterrupted block/sleep when a cooperative stop may be
+/// pending: actor threads re-check the stop flag at least this often.
+const STOP_POLL_INTERVAL: Duration = Duration::from_millis(10);
+
 /// One OS thread per actor; OS scheduling; blocking windowed reads.
 pub struct ThreadedDirector {
     clock: SharedClock,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for ThreadedDirector {
@@ -38,12 +45,16 @@ impl ThreadedDirector {
     pub fn new() -> Self {
         ThreadedDirector {
             clock: Arc::new(WallClock::new()),
+            telemetry: None,
         }
     }
 
     /// A director on a caller-supplied clock (tests).
     pub fn with_clock(clock: SharedClock) -> Self {
-        ThreadedDirector { clock }
+        ThreadedDirector {
+            clock,
+            telemetry: None,
+        }
     }
 }
 
@@ -56,8 +67,12 @@ struct ControllerOutcome {
 
 impl Director for ThreadedDirector {
     fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
-        let fabric = Arc::new(Fabric::build(workflow)?);
+        let observer = self.telemetry.as_ref().map(|t| t.observer.clone());
+        let fabric = Arc::new(Fabric::build_observed(workflow, observer)?);
         let started = self.clock.now();
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Start, started);
+        }
         let mut handles = Vec::with_capacity(workflow.actor_count());
         for id in workflow.actor_ids() {
             let node = workflow.node_mut(id);
@@ -67,9 +82,10 @@ impl Director for ThreadedDirector {
             let n_inputs = node.signature.inputs.len();
             let fabric = fabric.clone();
             let clock = self.clock.clone();
+            let tele = self.telemetry.clone();
             let handle = thread::Builder::new()
                 .name(format!("cwf-{name}"))
-                .spawn(move || controller(id, actor, is_source, n_inputs, &fabric, &*clock))
+                .spawn(move || controller(id, actor, is_source, n_inputs, &fabric, &*clock, tele))
                 .map_err(|e| Error::Director(format!("failed to spawn actor thread: {e}")))?;
             handles.push((id, handle));
         }
@@ -88,10 +104,18 @@ impl Director for ThreadedDirector {
             workflow.node_mut(id).return_actor(outcome.actor);
         }
         report.elapsed = self.clock.now().since(started);
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::End, self.clock.now());
+        }
         match first_error {
             Some(e) => Err(e),
             None => Ok(report),
         }
+    }
+
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        self.telemetry = Some(telemetry);
+        true
     }
 }
 
@@ -104,10 +128,12 @@ fn controller(
     n_inputs: usize,
     fabric: &Fabric,
     clock: &dyn Clock,
+    tele: Option<Telemetry>,
 ) -> ControllerOutcome {
     let mut ctx = QueueContext::new(n_inputs);
     let mut firings = 0u64;
     let mut routed = 0u64;
+    let should_stop = |tele: &Option<Telemetry>| tele.as_ref().is_some_and(|t| t.should_stop());
 
     let result = (|| -> Result<()> {
         ctx.set_now(clock.now());
@@ -117,23 +143,66 @@ fn controller(
 
         if is_source {
             loop {
+                if should_stop(&tele) {
+                    break;
+                }
                 // Pace by the source's timetable (wall-clock realization of
                 // event arrival times).
                 if let Some(arrival) = actor.next_arrival() {
                     let now = clock.now();
                     if arrival > now {
-                        thread::sleep(arrival.since(now).to_std());
+                        let mut remaining = arrival.since(now).to_std();
+                        // Sleep in slices so a stop request does not have
+                        // to wait out a long inter-arrival gap.
+                        while !remaining.is_zero() {
+                            if should_stop(&tele) {
+                                break;
+                            }
+                            let slice = if tele.is_some() {
+                                remaining.min(STOP_POLL_INTERVAL)
+                            } else {
+                                remaining
+                            };
+                            thread::sleep(slice);
+                            remaining = remaining.saturating_sub(slice);
+                        }
+                        if should_stop(&tele) {
+                            break;
+                        }
                     }
                 }
-                ctx.set_now(clock.now());
+                let fire_start = clock.now();
+                ctx.set_now(fire_start);
                 let mut emitted_any = false;
+                let mut fired = false;
+                let mut tokens_out = 0u64;
                 if actor.prefire(&mut ctx)? {
+                    if let Some(t) = &tele {
+                        t.observer.on_fire_start(id, fire_start);
+                    }
                     actor.fire(&mut ctx)?;
                     let (emissions, _) = ctx.take_emissions();
                     emitted_any = !emissions.is_empty();
+                    tokens_out = emissions.len() as u64;
+                    fired = true;
                     firings += 1;
                     routed += fabric.route(id, emissions, None, clock.now())?;
                     routed += fabric.route_expired(clock.now())?;
+                }
+                if fired {
+                    if let Some(t) = &tele {
+                        let ended = clock.now();
+                        t.observer.on_fire_end(&FireRecord {
+                            actor: id,
+                            started: fire_start,
+                            ended,
+                            busy: ended.since(fire_start),
+                            events_in: 0,
+                            tokens_out,
+                            origin: None,
+                            fired,
+                        });
+                    }
                 }
                 if !actor.postfire(&mut ctx)? {
                     break;
@@ -141,30 +210,62 @@ fn controller(
                 if !emitted_any && actor.next_arrival() == Some(Timestamp::ZERO) {
                     // Always-ready source with nothing to say (e.g. an idle
                     // push source): back off instead of spinning.
-                    thread::sleep(std::time::Duration::from_millis(1));
+                    thread::sleep(Duration::from_millis(1));
                 }
             }
         } else {
             let inbox = fabric.inbox(id).clone();
             loop {
+                if should_stop(&tele) {
+                    break;
+                }
                 let now = clock.now();
-                let timeout = fabric
+                let mut timeout = fabric
                     .receivers(id)
                     .iter()
                     .filter_map(|r| r.next_deadline())
                     .min()
                     .map(|deadline| deadline.since(now).to_std());
+                if tele.is_some() {
+                    // Bound the block so a stop request is noticed promptly.
+                    timeout = Some(timeout.map_or(STOP_POLL_INTERVAL, |t| t.min(STOP_POLL_INTERVAL)));
+                }
                 match inbox.pop_blocking(timeout) {
                     InboxPop::Window(port, window) => {
-                        ctx.set_now(clock.now());
+                        let fire_start = clock.now();
+                        ctx.set_now(fire_start);
+                        if let Some(t) = &tele {
+                            t.observer.on_fire_start(id, fire_start);
+                        }
                         ctx.deliver(port, window);
+                        let mut fired = false;
+                        let mut events_in = 0u64;
+                        let mut tokens_out = 0u64;
+                        let mut origin = None;
                         if actor.prefire(&mut ctx)? {
                             actor.fire(&mut ctx)?;
+                            events_in = ctx.consumed_events;
                             let (emissions, trigger) = ctx.take_emissions();
+                            tokens_out = emissions.len() as u64;
+                            origin = trigger.as_ref().map(|w| w.origin());
+                            fired = true;
                             firings += 1;
                             routed +=
                                 fabric.route(id, emissions, trigger.as_ref(), clock.now())?;
                             routed += fabric.route_expired(clock.now())?;
+                        }
+                        if let Some(t) = &tele {
+                            let ended = clock.now();
+                            t.observer.on_fire_end(&FireRecord {
+                                actor: id,
+                                started: fire_start,
+                                ended,
+                                busy: ended.since(fire_start),
+                                events_in,
+                                tokens_out,
+                                origin,
+                                fired,
+                            });
                         }
                         if !actor.postfire(&mut ctx)? {
                             break;
@@ -174,9 +275,7 @@ fn controller(
                         // A window-formation deadline passed: force the
                         // receivers to evaluate their window semantics.
                         let now = clock.now();
-                        for r in fabric.receivers(id) {
-                            r.poll(now);
-                        }
+                        fabric.poll_actor(id, now);
                         let _ = fabric.route_expired(now)?;
                     }
                     InboxPop::Closed => break,

@@ -1,0 +1,239 @@
+//! The engine facade: the one-stop entry point for running a workflow.
+//!
+//! ```no_run
+//! # use confluence_core::actors::{Collector, VecSource};
+//! # use confluence_core::graph::WorkflowBuilder;
+//! # use confluence_core::window::WindowSpec;
+//! # use confluence_core::Token;
+//! use confluence_core::engine::Engine;
+//! use confluence_core::director::sdf::SdfDirector;
+//!
+//! # let collector = Collector::new();
+//! # let mut b = WorkflowBuilder::new("demo");
+//! # let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+//! # let k = b.add_actor("sink", collector.actor());
+//! # b.connect_windowed(s, "out", k, "in", WindowSpec::each_event()).unwrap();
+//! # let workflow = b.build().unwrap();
+//! let mut engine = Engine::new(workflow).with_director(SdfDirector::new());
+//! let report = engine.run().unwrap();
+//! let metrics = engine.snapshot();
+//! println!("{}", metrics.render_table());
+//! println!("{}", metrics.to_prometheus());
+//! ```
+//!
+//! [`Engine`] owns the workflow, a director (thread-based PNCWF by
+//! default), and a [`MetricsRecorder`]; every run is instrumented so
+//! [`Engine::snapshot`] always has per-actor statistics to report.
+//! [`Director::run`] remains available as the thin un-instrumented path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::director::threaded::ThreadedDirector;
+use crate::director::{Director, RunReport};
+use crate::error::Result;
+use crate::graph::Workflow;
+use crate::telemetry::{
+    FireRecord, MetricsRecorder, MetricsSnapshot, MultiObserver, Observer, RunControl, RunPhase,
+    Telemetry,
+};
+use crate::time::{Micros, Timestamp};
+
+/// A bound on how far [`Engine::run_until`] lets a run progress before
+/// requesting a cooperative stop. Counters are evaluated against this
+/// run's activity only, not totals accumulated over earlier runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop after this many successful firings.
+    Firings(u64),
+    /// Stop after this many channel deliveries.
+    EventsRouted(u64),
+    /// Stop once director time has advanced this far past run start.
+    Elapsed(Micros),
+}
+
+/// Observer that trips a [`RunControl`] when a [`StopCondition`] is met.
+struct StopWatcher {
+    condition: StopCondition,
+    control: Arc<RunControl>,
+    fires: AtomicU64,
+    routed: AtomicU64,
+    started: AtomicU64,
+}
+
+impl StopWatcher {
+    fn new(condition: StopCondition, control: Arc<RunControl>) -> Self {
+        StopWatcher {
+            condition,
+            control,
+            fires: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            started: AtomicU64::new(0),
+        }
+    }
+
+    fn check_elapsed(&self, at: Timestamp) {
+        if let StopCondition::Elapsed(limit) = self.condition {
+            let started = Timestamp(self.started.load(Ordering::Relaxed));
+            if at.since(started) >= limit {
+                self.control.request_stop();
+            }
+        }
+    }
+}
+
+impl Observer for StopWatcher {
+    fn on_run_phase(&self, phase: RunPhase, at: Timestamp) {
+        if phase == RunPhase::Start {
+            self.started.store(at.as_micros(), Ordering::Relaxed);
+        }
+    }
+
+    fn on_fire_end(&self, record: &FireRecord) {
+        if record.fired {
+            let n = self.fires.fetch_add(1, Ordering::Relaxed) + 1;
+            if let StopCondition::Firings(limit) = self.condition {
+                if n >= limit {
+                    self.control.request_stop();
+                }
+            }
+        }
+        self.check_elapsed(record.ended);
+    }
+
+    fn on_route(&self, _from: crate::graph::ActorId, delivered: u64, at: Timestamp) {
+        let n = self.routed.fetch_add(delivered, Ordering::Relaxed) + delivered;
+        if let StopCondition::EventsRouted(limit) = self.condition {
+            if n >= limit {
+                self.control.request_stop();
+            }
+        }
+        self.check_elapsed(at);
+    }
+}
+
+/// The redesigned run API: owns a workflow plus a director and executes
+/// instrumented runs. Build with [`Engine::new`], configure with
+/// [`Engine::with_director`] / [`Engine::with_observer`], then call
+/// [`Engine::run`] or [`Engine::run_until`]; [`Engine::snapshot`] exposes
+/// the accumulated [`MetricsSnapshot`] at any point.
+pub struct Engine {
+    workflow: Workflow,
+    director: Box<dyn Director>,
+    extra_observers: Vec<Arc<dyn Observer>>,
+    recorder: Arc<MetricsRecorder>,
+    instrumented: bool,
+}
+
+/// The handle a fully-configured [`Engine`] builder chain yields; it *is*
+/// the engine — named separately so call sites read as "handle to a run".
+pub type RunHandle = Engine;
+
+impl Engine {
+    /// An engine executing `workflow` under the default thread-based
+    /// continuous-workflow director.
+    pub fn new(workflow: Workflow) -> Self {
+        let recorder = Arc::new(MetricsRecorder::for_workflow(&workflow));
+        Engine {
+            workflow,
+            director: Box::new(ThreadedDirector::new()),
+            extra_observers: Vec::new(),
+            recorder,
+            instrumented: false,
+        }
+    }
+
+    /// Replace the director (any model of computation implementing
+    /// [`Director`]).
+    pub fn with_director(mut self, director: impl Director + 'static) -> RunHandle {
+        self.director = Box::new(director);
+        self.instrumented = false;
+        self
+    }
+
+    /// Boxed-director variant of [`Engine::with_director`], for directors
+    /// chosen at runtime.
+    pub fn with_boxed_director(mut self, director: Box<dyn Director>) -> RunHandle {
+        self.director = director;
+        self.instrumented = false;
+        self
+    }
+
+    /// Attach an additional [`Observer`]; hooks fan out to every attached
+    /// observer plus the engine's own recorder.
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> RunHandle {
+        self.extra_observers.push(observer);
+        self
+    }
+
+    /// The metrics recorder backing [`Engine::snapshot`].
+    pub fn recorder(&self) -> &Arc<MetricsRecorder> {
+        &self.recorder
+    }
+
+    /// The workflow being executed.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// Point-in-time metrics accumulated over every run so far. Under the
+    /// threaded director this is safe to call from another thread mid-run
+    /// (via a clone of [`Engine::recorder`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.recorder.snapshot()
+    }
+
+    /// Run the workflow to quiescence. The returned [`RunReport`] is the
+    /// recorder's view of the run when the director honors
+    /// instrumentation, and the director's own accounting otherwise.
+    pub fn run(&mut self) -> Result<RunReport> {
+        self.run_inner(None)
+    }
+
+    /// Run until quiescence *or* until `stop` is met, whichever comes
+    /// first. Stops are cooperative: the director winds down cleanly at
+    /// the next firing boundary, so slightly more work than the bound may
+    /// be performed.
+    pub fn run_until(&mut self, stop: StopCondition) -> Result<RunReport> {
+        self.run_inner(Some(stop))
+    }
+
+    fn run_inner(&mut self, stop: Option<StopCondition>) -> Result<RunReport> {
+        let control = Arc::new(RunControl::new());
+        let mut observers: Vec<Arc<dyn Observer>> =
+            vec![self.recorder.clone() as Arc<dyn Observer>];
+        observers.extend(self.extra_observers.iter().cloned());
+        let before = self.recorder.snapshot();
+        if let Some(condition) = stop {
+            observers.push(Arc::new(StopWatcher::new(condition, control.clone())));
+        }
+        let telemetry = Telemetry {
+            observer: Arc::new(MultiObserver::new(observers)),
+            control,
+        };
+        self.instrumented = self.director.instrument(telemetry);
+        let director_report = self.director.run(&mut self.workflow)?;
+        if !self.instrumented {
+            return Ok(director_report);
+        }
+        // The recorder accumulates across runs; report this run's delta.
+        let after = self.recorder.snapshot();
+        Ok(RunReport {
+            firings: after.total_fires() - before.total_fires(),
+            events_routed: after.events_routed - before.events_routed,
+            elapsed: director_report.elapsed,
+        })
+    }
+
+    /// Whether the current director honored instrumentation on the last
+    /// run (`false` before the first run or for third-party directors
+    /// without telemetry support).
+    pub fn is_instrumented(&self) -> bool {
+        self.instrumented
+    }
+
+    /// Take the workflow back out of the engine.
+    pub fn into_workflow(self) -> Workflow {
+        self.workflow
+    }
+}

@@ -289,6 +289,49 @@ pub struct WorkflowBuilder {
     expired_handlers: Vec<(ActorId, String, ActorId, String)>,
 }
 
+/// Selects a port on an actor, either by declared name or by positional
+/// index in the actor's [`IoSignature`](crate::actor::IoSignature). All
+/// builder methods that take a port accept both forms:
+///
+/// ```ignore
+/// b.connect(a, "out", c, "in")?;   // by name
+/// b.connect(a, 0, c, 0)?;          // by index
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortSel<'a> {
+    /// Select by declared port name.
+    Name(&'a str),
+    /// Select by positional index.
+    Index(usize),
+}
+
+impl<'a> From<&'a str> for PortSel<'a> {
+    fn from(name: &'a str) -> Self {
+        PortSel::Name(name)
+    }
+}
+
+impl<'a> From<&'a String> for PortSel<'a> {
+    fn from(name: &'a String) -> Self {
+        PortSel::Name(name)
+    }
+}
+
+impl From<usize> for PortSel<'_> {
+    fn from(index: usize) -> Self {
+        PortSel::Index(index)
+    }
+}
+
+impl std::fmt::Display for PortSel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortSel::Name(n) => write!(f, "{n}"),
+            PortSel::Index(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
 impl WorkflowBuilder {
     /// Start building a workflow.
     pub fn new(name: impl Into<String>) -> Self {
@@ -325,32 +368,53 @@ impl WorkflowBuilder {
         id
     }
 
-    /// Connect `from`'s output port (by name) to `to`'s input port (by name).
-    pub fn connect(
+    fn resolve_output(&self, actor: ActorId, sel: PortSel<'_>) -> Result<usize> {
+        let node = self
+            .nodes
+            .get(actor.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
+        match sel {
+            PortSel::Name(name) => node.signature.output_index(name).ok_or_else(|| {
+                Error::UnknownPort(format!("{}.{name} (output)", node.name))
+            }),
+            PortSel::Index(i) if i < node.signature.outputs.len() => Ok(i),
+            PortSel::Index(i) => Err(Error::UnknownPort(format!(
+                "{}.#{i} (output; {} ports)",
+                node.name,
+                node.signature.outputs.len()
+            ))),
+        }
+    }
+
+    fn resolve_input(&self, actor: ActorId, sel: PortSel<'_>) -> Result<usize> {
+        let node = self
+            .nodes
+            .get(actor.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
+        match sel {
+            PortSel::Name(name) => node.signature.input_index(name).ok_or_else(|| {
+                Error::UnknownPort(format!("{}.{name} (input)", node.name))
+            }),
+            PortSel::Index(i) if i < node.signature.inputs.len() => Ok(i),
+            PortSel::Index(i) => Err(Error::UnknownPort(format!(
+                "{}.#{i} (input; {} ports)",
+                node.name,
+                node.signature.inputs.len()
+            ))),
+        }
+    }
+
+    /// Connect `from`'s output port to `to`'s input port. Ports are
+    /// selected by name or by index ([`PortSel`]).
+    pub fn connect<'a>(
         &mut self,
         from: ActorId,
-        from_port: &str,
+        from_port: impl Into<PortSel<'a>>,
         to: ActorId,
-        to_port: &str,
+        to_port: impl Into<PortSel<'a>>,
     ) -> Result<()> {
-        let fp = self
-            .nodes
-            .get(from.0)
-            .ok_or_else(|| Error::UnknownActor(format!("{from}")))?
-            .signature
-            .output_index(from_port)
-            .ok_or_else(|| {
-                Error::UnknownPort(format!("{}.{from_port} (output)", self.nodes[from.0].name))
-            })?;
-        let tp = self
-            .nodes
-            .get(to.0)
-            .ok_or_else(|| Error::UnknownActor(format!("{to}")))?
-            .signature
-            .input_index(to_port)
-            .ok_or_else(|| {
-                Error::UnknownPort(format!("{}.{to_port} (input)", self.nodes[to.0].name))
-            })?;
+        let fp = self.resolve_output(from, from_port.into())?;
+        let tp = self.resolve_input(to, to_port.into())?;
         self.channels.push(Channel {
             from: PortRef {
                 actor: from,
@@ -364,29 +428,38 @@ impl WorkflowBuilder {
         Ok(())
     }
 
+    /// Connect actors into a linear pipeline: each actor's first output
+    /// port feeds the next actor's first input port.
+    pub fn chain(&mut self, actors: &[ActorId]) -> Result<()> {
+        for pair in actors.windows(2) {
+            self.connect(pair[0], 0usize, pair[1], 0usize)?;
+        }
+        Ok(())
+    }
+
     /// Attach window semantics to an input port.
-    pub fn set_window(&mut self, actor: ActorId, port: &str, spec: WindowSpec) -> Result<()> {
+    pub fn set_window<'a>(
+        &mut self,
+        actor: ActorId,
+        port: impl Into<PortSel<'a>>,
+        spec: WindowSpec,
+    ) -> Result<()> {
         spec.validate()?;
-        let node = self
-            .nodes
-            .get(actor.0)
-            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
-        let idx = node.signature.input_index(port).ok_or_else(|| {
-            Error::UnknownPort(format!("{}.{port} (input)", node.name))
-        })?;
+        let idx = self.resolve_input(actor, port.into())?;
         self.input_windows[actor.0][idx] = spec;
         Ok(())
     }
 
     /// Convenience: connect and set the destination port's window in one go.
-    pub fn connect_windowed(
+    pub fn connect_windowed<'a>(
         &mut self,
         from: ActorId,
-        from_port: &str,
+        from_port: impl Into<PortSel<'a>>,
         to: ActorId,
-        to_port: &str,
+        to_port: impl Into<PortSel<'a>>,
         spec: WindowSpec,
     ) -> Result<()> {
+        let to_port = to_port.into();
         self.connect(from, from_port, to, to_port)?;
         self.set_window(to, to_port, spec)
     }
@@ -402,30 +475,21 @@ impl WorkflowBuilder {
     /// items queue which are optionally handled by another workflow
     /// activity"). Events sliding out of `actor.port`'s windows are
     /// delivered to `handler.handler_port` instead of being discarded.
-    pub fn set_expired_handler(
+    pub fn set_expired_handler<'a>(
         &mut self,
         actor: ActorId,
-        port: &str,
+        port: impl Into<PortSel<'a>>,
         handler: ActorId,
-        handler_port: &str,
+        handler_port: impl Into<PortSel<'a>>,
     ) -> Result<()> {
-        // Validate names eagerly; resolution happens at build().
-        let node = self
-            .nodes
-            .get(actor.0)
-            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
-        node.signature
-            .input_index(port)
-            .ok_or_else(|| Error::UnknownPort(format!("{}.{port} (input)", node.name)))?;
-        let h = self
-            .nodes
-            .get(handler.0)
-            .ok_or_else(|| Error::UnknownActor(format!("{handler}")))?;
-        h.signature
-            .input_index(handler_port)
-            .ok_or_else(|| Error::UnknownPort(format!("{}.{handler_port} (input)", h.name)))?;
+        // Resolve eagerly and store the canonical names; final route
+        // resolution happens at build().
+        let pi = self.resolve_input(actor, port.into())?;
+        let hi = self.resolve_input(handler, handler_port.into())?;
+        let port = self.nodes[actor.0].signature.inputs[pi].clone();
+        let handler_port = self.nodes[handler.0].signature.inputs[hi].clone();
         self.expired_handlers
-            .push((actor, port.to_string(), handler, handler_port.to_string()));
+            .push((actor, port, handler, handler_port));
         Ok(())
     }
 
@@ -606,6 +670,51 @@ mod tests {
         assert!(b
             .set_window(k, "nope", crate::window::WindowSpec::each_event())
             .is_err());
+    }
+
+    #[test]
+    fn ports_select_by_index_or_name() {
+        // Index-based connect builds the same topology as name-based.
+        let mut b = WorkflowBuilder::new("by-index");
+        let s = b.add_actor("src", Src);
+        let p = b.add_actor("pass", Pass);
+        let k = b.add_actor("sink", Sink);
+        b.connect(s, 0, p, 0).unwrap();
+        b.connect(p, "out", k, 0).unwrap();
+        b.set_window(k, 0, crate::window::WindowSpec::tuples(2, 1))
+            .unwrap();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.channels().len(), 2);
+        assert_eq!(
+            wf.window_spec(k, 0).size,
+            crate::window::Measure::Tuples(2)
+        );
+        // Out-of-range indices are rejected with the port error.
+        let mut b = WorkflowBuilder::new("oob");
+        let s = b.add_actor("src", Src);
+        let k = b.add_actor("sink", Sink);
+        assert!(matches!(b.connect(s, 3, k, 0), Err(Error::UnknownPort(_))));
+        assert!(matches!(b.connect(s, 0, k, 9), Err(Error::UnknownPort(_))));
+    }
+
+    #[test]
+    fn chain_builds_linear_pipeline() {
+        let mut b = WorkflowBuilder::new("chained");
+        let s = b.add_actor("src", Src);
+        let p1 = b.add_actor("p1", Pass);
+        let p2 = b.add_actor("p2", Pass);
+        let k = b.add_actor("sink", Sink);
+        b.chain(&[s, p1, p2, k]).unwrap();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.channels().len(), 3);
+        assert_eq!(wf.routes_from(s, 0), &[PortRef { actor: p1, port: 0 }]);
+        assert_eq!(wf.routes_from(p1, 0), &[PortRef { actor: p2, port: 0 }]);
+        assert_eq!(wf.routes_from(p2, 0), &[PortRef { actor: k, port: 0 }]);
+        // Degenerate chains are no-ops.
+        let mut b = WorkflowBuilder::new("short");
+        let s = b.add_actor("src", Src);
+        b.chain(&[s]).unwrap();
+        b.chain(&[]).unwrap();
     }
 
     #[test]

@@ -25,21 +25,25 @@
 pub mod actor;
 pub mod actors;
 pub mod director;
+pub mod engine;
 pub mod testing;
 pub mod error;
 pub mod event;
 pub mod graph;
 pub mod receiver;
 pub mod spec;
+pub mod telemetry;
 pub mod time;
 pub mod token;
 pub mod wave;
 pub mod window;
 
 pub use actor::{Actor, FireContext, IoSignature};
+pub use engine::{Engine, RunHandle, StopCondition};
 pub use error::{Error, Result};
 pub use event::CwEvent;
-pub use graph::{ActorId, Workflow, WorkflowBuilder};
+pub use graph::{ActorId, PortSel, Workflow, WorkflowBuilder};
+pub use telemetry::{MetricsRecorder, MetricsSnapshot, Observer, RunPhase, Telemetry};
 pub use time::{Clock, Micros, SharedClock, Timestamp, VirtualClock, WallClock};
 pub use token::Token;
 pub use wave::WaveTag;

@@ -1,0 +1,289 @@
+//! Structured telemetry for workflow execution.
+//!
+//! The paper's STAFiLOS schedulers are driven entirely by runtime
+//! statistics — queue backlogs, per-actor costs, tuple response times
+//! (Table 2's scheduler inputs). This module is the engine-wide surface
+//! those statistics flow through: every director reports its execution
+//! through an [`Observer`], and the stock [`MetricsRecorder`] turns the
+//! hook stream into per-actor counters and latency histograms without
+//! taking a lock on the hot path.
+//!
+//! * [`Observer`] — the hook trait (`on_fire_start`/`on_fire_end`,
+//!   `on_route`, `on_window_close`, `on_expire`, `on_run_phase`);
+//! * [`MetricsRecorder`] — atomics-only implementation collecting fire
+//!   counts, busy time, token throughput, queue high-water marks, and
+//!   end-to-end tuple latency;
+//! * [`MetricsSnapshot`] — a point-in-time view exportable as JSON or
+//!   Prometheus text exposition format;
+//! * [`RunControl`] / [`Telemetry`] — the cooperative-stop handle the
+//!   [`Engine`](crate::engine::Engine) uses for `run_until`.
+
+mod recorder;
+
+pub use recorder::{
+    ActorMetrics, HistogramSnapshot, LatencyHistogram, MetricsRecorder, MetricsSnapshot,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::graph::ActorId;
+use crate::time::{Micros, Timestamp};
+
+/// Phases of a workflow run, reported through [`Observer::on_run_phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Execution begins (fabric built, actors initialized or about to be).
+    Start,
+    /// Sources exhausted; output closure / partial-window flushing begins.
+    Close,
+    /// Actors are being wrapped up.
+    Wrapup,
+    /// The run is over.
+    End,
+}
+
+impl RunPhase {
+    /// Stable lower-case label (used in exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            RunPhase::Start => "start",
+            RunPhase::Close => "close",
+            RunPhase::Wrapup => "wrapup",
+            RunPhase::End => "end",
+        }
+    }
+}
+
+/// Everything known about one completed firing attempt.
+#[derive(Debug, Clone)]
+pub struct FireRecord {
+    /// The actor that fired.
+    pub actor: ActorId,
+    /// Director time when the firing began.
+    pub started: Timestamp,
+    /// Director time when the firing (and its routing) completed.
+    pub ended: Timestamp,
+    /// Cost charged to the firing: wall time under real-time directors,
+    /// model cost under the scheduled virtual-time director, zero under
+    /// the instantaneous-firing directors (SDF/DDF/DE).
+    pub busy: Micros,
+    /// Events consumed from input windows.
+    pub events_in: u64,
+    /// Tokens emitted on output ports.
+    pub tokens_out: u64,
+    /// Origin timestamp of the wave that triggered the firing (`None` for
+    /// source firings and non-firings). `ended - origin` is the end-to-end
+    /// response time of the triggering tuple at this actor.
+    pub origin: Option<Timestamp>,
+    /// Whether the actor actually fired (prefire returned true).
+    pub fired: bool,
+}
+
+/// Execution hooks. All methods default to no-ops so observers implement
+/// only what they need. Implementations must be cheap and thread-safe:
+/// the threaded director invokes them concurrently from actor threads.
+pub trait Observer: Send + Sync {
+    /// A run phase boundary was crossed.
+    fn on_run_phase(&self, phase: RunPhase, at: Timestamp) {
+        let _ = (phase, at);
+    }
+
+    /// An actor is about to attempt a firing.
+    fn on_fire_start(&self, actor: ActorId, at: Timestamp) {
+        let _ = (actor, at);
+    }
+
+    /// A firing attempt completed (whether or not the actor fired).
+    fn on_fire_end(&self, record: &FireRecord) {
+        let _ = record;
+    }
+
+    /// `delivered` channel deliveries were routed from `from`'s outputs.
+    fn on_route(&self, from: ActorId, delivered: u64, at: Timestamp) {
+        let _ = (from, delivered, at);
+    }
+
+    /// `windows` ready windows formed on `actor`'s input `port`;
+    /// `queue_depth` is the actor's inbox length after formation.
+    fn on_window_close(&self, actor: ActorId, port: usize, windows: usize, queue_depth: usize, at: Timestamp) {
+        let _ = (actor, port, windows, queue_depth, at);
+    }
+
+    /// `events` expired out of `actor`'s input `port` windows and were
+    /// handed to an expired-items handler.
+    fn on_expire(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
+        let _ = (actor, port, events, at);
+    }
+}
+
+/// Fans hooks out to several observers in registration order.
+#[derive(Default)]
+pub struct MultiObserver {
+    observers: Vec<Arc<dyn Observer>>,
+}
+
+impl MultiObserver {
+    /// An empty fan-out.
+    pub fn new(observers: Vec<Arc<dyn Observer>>) -> Self {
+        MultiObserver { observers }
+    }
+
+    /// Append an observer.
+    pub fn push(&mut self, observer: Arc<dyn Observer>) {
+        self.observers.push(observer);
+    }
+}
+
+impl Observer for MultiObserver {
+    fn on_run_phase(&self, phase: RunPhase, at: Timestamp) {
+        for o in &self.observers {
+            o.on_run_phase(phase, at);
+        }
+    }
+    fn on_fire_start(&self, actor: ActorId, at: Timestamp) {
+        for o in &self.observers {
+            o.on_fire_start(actor, at);
+        }
+    }
+    fn on_fire_end(&self, record: &FireRecord) {
+        for o in &self.observers {
+            o.on_fire_end(record);
+        }
+    }
+    fn on_route(&self, from: ActorId, delivered: u64, at: Timestamp) {
+        for o in &self.observers {
+            o.on_route(from, delivered, at);
+        }
+    }
+    fn on_window_close(&self, actor: ActorId, port: usize, windows: usize, queue_depth: usize, at: Timestamp) {
+        for o in &self.observers {
+            o.on_window_close(actor, port, windows, queue_depth, at);
+        }
+    }
+    fn on_expire(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
+        for o in &self.observers {
+            o.on_expire(actor, port, events, at);
+        }
+    }
+}
+
+/// Cooperative stop flag shared between an [`Engine`](crate::engine::Engine)
+/// and the director loops: directors poll [`RunControl::should_stop`] at
+/// firing boundaries and wind the run down cleanly when it trips.
+#[derive(Debug, Default)]
+pub struct RunControl {
+    stop: AtomicBool,
+}
+
+impl RunControl {
+    /// A fresh control in the running state.
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// Ask the run to stop at the next firing boundary.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether a stop was requested.
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// The bundle a director receives from [`Director::instrument`]
+/// (crate::director::Director::instrument): where to send hooks, and the
+/// stop flag to poll.
+#[derive(Clone)]
+pub struct Telemetry {
+    /// Hook sink (often a [`MultiObserver`]).
+    pub observer: Arc<dyn Observer>,
+    /// Cooperative stop flag.
+    pub control: Arc<RunControl>,
+}
+
+impl Telemetry {
+    /// Telemetry around one observer with a fresh control.
+    pub fn new(observer: Arc<dyn Observer>) -> Self {
+        Telemetry {
+            observer,
+            control: Arc::new(RunControl::new()),
+        }
+    }
+
+    /// Whether the run should wind down.
+    pub fn should_stop(&self) -> bool {
+        self.control.should_stop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[derive(Default)]
+    struct Counting {
+        fires: AtomicU64,
+        phases: AtomicU64,
+    }
+
+    impl Observer for Counting {
+        fn on_fire_start(&self, _actor: ActorId, _at: Timestamp) {
+            self.fires.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_run_phase(&self, _phase: RunPhase, _at: Timestamp) {
+            self.phases.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let a = Arc::new(Counting::default());
+        let b = Arc::new(Counting::default());
+        let multi = MultiObserver::new(vec![a.clone(), b.clone()]);
+        multi.on_fire_start(ActorId(0), Timestamp::ZERO);
+        multi.on_run_phase(RunPhase::Start, Timestamp::ZERO);
+        multi.on_run_phase(RunPhase::End, Timestamp(5));
+        // Default no-op hooks are callable through the fan-out too.
+        multi.on_route(ActorId(0), 3, Timestamp(1));
+        multi.on_window_close(ActorId(0), 0, 1, 2, Timestamp(1));
+        multi.on_expire(ActorId(0), 0, 4, Timestamp(1));
+        multi.on_fire_end(&FireRecord {
+            actor: ActorId(0),
+            started: Timestamp::ZERO,
+            ended: Timestamp(1),
+            busy: Micros(1),
+            events_in: 1,
+            tokens_out: 1,
+            origin: None,
+            fired: true,
+        });
+        for o in [&a, &b] {
+            assert_eq!(o.fires.load(Ordering::Relaxed), 1);
+            assert_eq!(o.phases.load(Ordering::Relaxed), 2);
+        }
+    }
+
+    #[test]
+    fn run_control_trips_once() {
+        let c = RunControl::new();
+        assert!(!c.should_stop());
+        c.request_stop();
+        assert!(c.should_stop());
+        let t = Telemetry::new(Arc::new(MultiObserver::default()));
+        assert!(!t.should_stop());
+        t.control.request_stop();
+        assert!(t.should_stop());
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(RunPhase::Start.label(), "start");
+        assert_eq!(RunPhase::Close.label(), "close");
+        assert_eq!(RunPhase::Wrapup.label(), "wrapup");
+        assert_eq!(RunPhase::End.label(), "end");
+    }
+}

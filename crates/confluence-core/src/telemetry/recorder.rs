@@ -1,0 +1,701 @@
+//! Lock-free metrics collection and point-in-time snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::graph::{ActorId, Workflow};
+use crate::time::{Micros, Timestamp};
+
+use super::{FireRecord, Observer, RunPhase};
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples
+/// `< 2^i` µs; the final bucket is the overflow (+Inf) bucket. 2^38 µs
+/// is ~3.2 days, far beyond any run this engine executes.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Fixed-bucket histogram of end-to-end tuple latencies in microseconds.
+/// Buckets grow by powers of two so a single `leading_zeros` finds the
+/// slot; recording is a handful of relaxed atomic adds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket holding `micros`: smallest `i` with
+    /// `micros < 2^i`, clamped to the overflow bucket.
+    fn bucket_index(micros: u64) -> usize {
+        let i = (64 - micros.leading_zeros()) as usize;
+        i.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, latency: Micros) {
+        let us = latency.as_micros();
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(us, Ordering::Relaxed);
+        self.max_micros.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`LatencyHistogram`]. `buckets[i]` counts samples
+/// `< 2^i` µs (non-cumulative); the last bucket is the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum_micros: u64,
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency over all samples.
+    pub fn mean(&self) -> Micros {
+        match self.sum_micros.checked_div(self.count) {
+            Some(mean) => Micros(mean),
+            None => Micros::ZERO,
+        }
+    }
+
+    /// Upper bound (in µs) of the bucket containing quantile `q` in
+    /// `0.0..=1.0` — a conservative percentile estimate.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_micros(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Upper bound of bucket `i` in µs; `None` for the overflow bucket.
+fn bucket_upper_micros(i: usize) -> Option<u64> {
+    if i + 1 >= LATENCY_BUCKETS {
+        None
+    } else {
+        Some(1u64 << i)
+    }
+}
+
+/// Per-actor counter cell. Every field is a relaxed atomic so actor
+/// threads under the threaded director update without contention.
+#[derive(Debug, Default)]
+struct ActorCell {
+    fires: AtomicU64,
+    attempts: AtomicU64,
+    busy_micros: AtomicU64,
+    events_in: AtomicU64,
+    tokens_out: AtomicU64,
+    windows_closed: AtomicU64,
+    queue_high_water: AtomicU64,
+    events_expired: AtomicU64,
+}
+
+/// Metrics for one actor in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorMetrics {
+    pub id: ActorId,
+    pub name: String,
+    /// Successful firings (prefire accepted).
+    pub fires: u64,
+    /// Firing attempts including refusals.
+    pub attempts: u64,
+    /// Total busy time charged to the actor.
+    pub busy: Micros,
+    /// Events consumed from input windows.
+    pub events_in: u64,
+    /// Tokens emitted on output ports.
+    pub tokens_out: u64,
+    /// Ready windows formed on the actor's input ports.
+    pub windows_closed: u64,
+    /// Highest observed inbox depth.
+    pub queue_high_water: u64,
+    /// Events expired out of the actor's windows.
+    pub events_expired: u64,
+}
+
+/// Atomics-only [`Observer`] that aggregates the hook stream into
+/// per-actor counters plus an end-to-end latency histogram fed by sink
+/// firings. Safe to share across the threaded director's actor threads;
+/// `snapshot()` can be taken at any point, including mid-run.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    names: Vec<String>,
+    is_sink: Vec<bool>,
+    actors: Vec<ActorCell>,
+    events_routed: AtomicU64,
+    latency: LatencyHistogram,
+    run_started: AtomicU64,
+    run_ended: AtomicU64,
+}
+
+impl MetricsRecorder {
+    /// Recorder sized for `workflow`, capturing actor names and sink-ness
+    /// (sink firings feed the end-to-end latency histogram).
+    pub fn for_workflow(workflow: &Workflow) -> Self {
+        let sinks = workflow.sinks();
+        let names: Vec<String> = workflow
+            .actor_ids()
+            .map(|id| workflow.node(id).name.clone())
+            .collect();
+        let is_sink = workflow
+            .actor_ids()
+            .map(|id| sinks.contains(&id))
+            .collect();
+        Self::with_names(names, is_sink)
+    }
+
+    /// Recorder over explicit actor names; `is_sink[i]` marks the actors
+    /// whose firings feed the latency histogram.
+    pub fn with_names(names: Vec<String>, is_sink: Vec<bool>) -> Self {
+        assert_eq!(names.len(), is_sink.len());
+        let actors = (0..names.len()).map(|_| ActorCell::default()).collect();
+        MetricsRecorder {
+            names,
+            is_sink,
+            actors,
+            events_routed: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            run_started: AtomicU64::new(0),
+            run_ended: AtomicU64::new(0),
+        }
+    }
+
+    fn cell(&self, actor: ActorId) -> Option<&ActorCell> {
+        self.actors.get(actor.0)
+    }
+
+    /// Total successful firings across all actors.
+    pub fn total_fires(&self) -> u64 {
+        self.actors
+            .iter()
+            .map(|c| c.fires.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total channel deliveries observed.
+    pub fn total_routed(&self) -> u64 {
+        self.events_routed.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let actors = self
+            .actors
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ActorMetrics {
+                id: ActorId(i),
+                name: self.names[i].clone(),
+                fires: c.fires.load(Ordering::Relaxed),
+                attempts: c.attempts.load(Ordering::Relaxed),
+                busy: Micros(c.busy_micros.load(Ordering::Relaxed)),
+                events_in: c.events_in.load(Ordering::Relaxed),
+                tokens_out: c.tokens_out.load(Ordering::Relaxed),
+                windows_closed: c.windows_closed.load(Ordering::Relaxed),
+                queue_high_water: c.queue_high_water.load(Ordering::Relaxed),
+                events_expired: c.events_expired.load(Ordering::Relaxed),
+            })
+            .collect();
+        MetricsSnapshot {
+            actors,
+            events_routed: self.events_routed.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            run_started: Timestamp(self.run_started.load(Ordering::Relaxed)),
+            run_ended: Timestamp(self.run_ended.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn on_run_phase(&self, phase: RunPhase, at: Timestamp) {
+        match phase {
+            RunPhase::Start => self.run_started.store(at.as_micros(), Ordering::Relaxed),
+            RunPhase::End => self.run_ended.store(at.as_micros(), Ordering::Relaxed),
+            _ => {}
+        }
+    }
+
+    fn on_fire_end(&self, record: &FireRecord) {
+        let Some(cell) = self.cell(record.actor) else {
+            return;
+        };
+        cell.attempts.fetch_add(1, Ordering::Relaxed);
+        if !record.fired {
+            return;
+        }
+        cell.fires.fetch_add(1, Ordering::Relaxed);
+        cell.busy_micros
+            .fetch_add(record.busy.as_micros(), Ordering::Relaxed);
+        cell.events_in.fetch_add(record.events_in, Ordering::Relaxed);
+        cell.tokens_out
+            .fetch_add(record.tokens_out, Ordering::Relaxed);
+        if self.is_sink.get(record.actor.0).copied().unwrap_or(false) {
+            if let Some(origin) = record.origin {
+                self.latency.record(record.ended.since(origin));
+            }
+        }
+    }
+
+    fn on_route(&self, _from: ActorId, delivered: u64, _at: Timestamp) {
+        self.events_routed.fetch_add(delivered, Ordering::Relaxed);
+    }
+
+    fn on_window_close(
+        &self,
+        actor: ActorId,
+        _port: usize,
+        windows: usize,
+        queue_depth: usize,
+        _at: Timestamp,
+    ) {
+        if let Some(cell) = self.cell(actor) {
+            cell.windows_closed
+                .fetch_add(windows as u64, Ordering::Relaxed);
+            cell.queue_high_water
+                .fetch_max(queue_depth as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn on_expire(&self, actor: ActorId, _port: usize, events: u64, _at: Timestamp) {
+        if let Some(cell) = self.cell(actor) {
+            cell.events_expired.fetch_add(events, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time view over a [`MetricsRecorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub actors: Vec<ActorMetrics>,
+    /// Channel deliveries across the whole workflow.
+    pub events_routed: u64,
+    /// End-to-end tuple latency at the sinks (director time).
+    pub latency: HistogramSnapshot,
+    /// Director time at [`RunPhase::Start`].
+    pub run_started: Timestamp,
+    /// Director time at [`RunPhase::End`].
+    pub run_ended: Timestamp,
+}
+
+impl MetricsSnapshot {
+    /// Total successful firings.
+    pub fn total_fires(&self) -> u64 {
+        self.actors.iter().map(|a| a.fires).sum()
+    }
+
+    /// Metrics for the actor named `name`, if present.
+    pub fn actor(&self, name: &str) -> Option<&ActorMetrics> {
+        self.actors.iter().find(|a| a.name == name)
+    }
+
+    /// Serialize as a self-contained JSON document (no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.actors.len() * 192);
+        out.push('{');
+        push_kv_u64(&mut out, "events_routed", self.events_routed);
+        out.push(',');
+        push_kv_u64(&mut out, "total_fires", self.total_fires());
+        out.push(',');
+        push_kv_u64(&mut out, "run_started_us", self.run_started.as_micros());
+        out.push(',');
+        push_kv_u64(&mut out, "run_ended_us", self.run_ended.as_micros());
+        out.push_str(",\"actors\":[");
+        for (i, a) in self.actors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str("\"name\":");
+            push_json_string(&mut out, &a.name);
+            out.push(',');
+            push_kv_u64(&mut out, "fires", a.fires);
+            out.push(',');
+            push_kv_u64(&mut out, "attempts", a.attempts);
+            out.push(',');
+            push_kv_u64(&mut out, "busy_us", a.busy.as_micros());
+            out.push(',');
+            push_kv_u64(&mut out, "events_in", a.events_in);
+            out.push(',');
+            push_kv_u64(&mut out, "tokens_out", a.tokens_out);
+            out.push(',');
+            push_kv_u64(&mut out, "windows_closed", a.windows_closed);
+            out.push(',');
+            push_kv_u64(&mut out, "queue_high_water", a.queue_high_water);
+            out.push(',');
+            push_kv_u64(&mut out, "events_expired", a.events_expired);
+            out.push('}');
+        }
+        out.push_str("],\"latency\":{");
+        push_kv_u64(&mut out, "count", self.latency.count);
+        out.push(',');
+        push_kv_u64(&mut out, "sum_us", self.latency.sum_micros);
+        out.push(',');
+        push_kv_u64(&mut out, "max_us", self.latency.max_micros);
+        out.push_str(",\"buckets\":[");
+        for (i, n) in self.latency.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Serialize in the Prometheus text exposition format. Latencies are
+    /// exported as a cumulative histogram in seconds.
+    pub fn to_prometheus(&self) -> String {
+        type MetricCol = (&'static str, &'static str, fn(&ActorMetrics) -> u64);
+        let mut out = String::with_capacity(512 + self.actors.len() * 512);
+        let gauges: [MetricCol; 1] = [(
+            "confluence_actor_queue_high_water",
+            "Highest observed inbox depth per actor",
+            |a| a.queue_high_water,
+        )];
+        let counters: [MetricCol; 7] = [
+            (
+                "confluence_actor_fires_total",
+                "Successful firings per actor",
+                |a| a.fires,
+            ),
+            (
+                "confluence_actor_attempts_total",
+                "Firing attempts per actor (including prefire refusals)",
+                |a| a.attempts,
+            ),
+            (
+                "confluence_actor_busy_microseconds_total",
+                "Busy time charged per actor in microseconds",
+                |a| a.busy.as_micros(),
+            ),
+            (
+                "confluence_actor_events_in_total",
+                "Events consumed from input windows per actor",
+                |a| a.events_in,
+            ),
+            (
+                "confluence_actor_tokens_out_total",
+                "Tokens emitted on output ports per actor",
+                |a| a.tokens_out,
+            ),
+            (
+                "confluence_actor_windows_closed_total",
+                "Ready windows formed on input ports per actor",
+                |a| a.windows_closed,
+            ),
+            (
+                "confluence_actor_events_expired_total",
+                "Events expired out of windows per actor",
+                |a| a.events_expired,
+            ),
+        ];
+        for (name, help, get) in counters {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for a in &self.actors {
+                out.push_str(&format!(
+                    "{name}{{actor=\"{}\"}} {}\n",
+                    escape_label(&a.name),
+                    get(a)
+                ));
+            }
+        }
+        for (name, help, get) in gauges {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for a in &self.actors {
+                out.push_str(&format!(
+                    "{name}{{actor=\"{}\"}} {}\n",
+                    escape_label(&a.name),
+                    get(a)
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP confluence_events_routed_total Channel deliveries across the workflow\n\
+             # TYPE confluence_events_routed_total counter\n",
+        );
+        out.push_str(&format!(
+            "confluence_events_routed_total {}\n",
+            self.events_routed
+        ));
+        out.push_str(
+            "# HELP confluence_tuple_latency_seconds End-to-end tuple latency at the sinks\n\
+             # TYPE confluence_tuple_latency_seconds histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, n) in self.latency.buckets.iter().enumerate() {
+            cumulative += n;
+            match bucket_upper_micros(i) {
+                Some(us) => out.push_str(&format!(
+                    "confluence_tuple_latency_seconds_bucket{{le=\"{}\"}} {}\n",
+                    us as f64 / 1e6,
+                    cumulative
+                )),
+                None => out.push_str(&format!(
+                    "confluence_tuple_latency_seconds_bucket{{le=\"+Inf\"}} {}\n",
+                    cumulative
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "confluence_tuple_latency_seconds_sum {}\n",
+            self.latency.sum_micros as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "confluence_tuple_latency_seconds_count {}\n",
+            self.latency.count
+        ));
+        out
+    }
+
+    /// Render the per-actor table for terminal output (bench runner).
+    pub fn render_table(&self) -> String {
+        let name_w = self
+            .actors
+            .iter()
+            .map(|a| a.name.len())
+            .chain(["actor".len()])
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>9}  {:>7}\n",
+            "actor", "fires", "busy_us", "events_in", "tokens_out", "windows", "queue_max", "expired"
+        ));
+        for a in &self.actors {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>9}  {:>7}\n",
+                a.name,
+                a.fires,
+                a.busy.as_micros(),
+                a.events_in,
+                a.tokens_out,
+                a.windows_closed,
+                a.queue_high_water,
+                a.events_expired
+            ));
+        }
+        out.push_str(&format!(
+            "routed={}  sink_latency: count={} mean={} max={}µs\n",
+            self.events_routed,
+            self.latency.count,
+            self.latency.mean(),
+            self.latency.max_micros
+        ));
+        out
+    }
+}
+
+fn push_kv_u64(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder2() -> MetricsRecorder {
+        MetricsRecorder::with_names(
+            vec!["src".into(), "sink".into()],
+            vec![false, true],
+        )
+    }
+
+    fn fire(actor: usize, busy: u64, origin: Option<u64>, ended: u64) -> FireRecord {
+        FireRecord {
+            actor: ActorId(actor),
+            started: Timestamp(ended.saturating_sub(busy)),
+            ended: Timestamp(ended),
+            busy: Micros(busy),
+            events_in: 2,
+            tokens_out: 3,
+            origin: origin.map(Timestamp),
+            fired: true,
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_power_of_two() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(LatencyHistogram::bucket_index(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 2, 4, 8, 1000] {
+            h.record(Micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_micros, 1015);
+        assert_eq!(s.max_micros, 1000);
+        assert_eq!(s.mean(), Micros(203));
+        // Median sample is 4µs → bucket upper bound 8.
+        assert_eq!(s.quantile_upper_bound(0.5), 8);
+        assert_eq!(s.quantile_upper_bound(1.0), 1024);
+    }
+
+    #[test]
+    fn recorder_aggregates_fire_records() {
+        let r = recorder2();
+        r.on_run_phase(RunPhase::Start, Timestamp(10));
+        r.on_fire_end(&fire(0, 5, None, 20));
+        r.on_fire_end(&fire(0, 5, None, 30));
+        r.on_fire_end(&fire(1, 7, Some(20), 50));
+        // A refused attempt counts as an attempt only.
+        r.on_fire_end(&FireRecord {
+            fired: false,
+            ..fire(1, 0, None, 50)
+        });
+        r.on_route(ActorId(0), 4, Timestamp(20));
+        r.on_window_close(ActorId(1), 0, 2, 6, Timestamp(25));
+        r.on_window_close(ActorId(1), 0, 1, 3, Timestamp(26));
+        r.on_expire(ActorId(1), 0, 9, Timestamp(27));
+        r.on_run_phase(RunPhase::End, Timestamp(60));
+
+        let s = r.snapshot();
+        assert_eq!(s.total_fires(), 3);
+        assert_eq!(s.events_routed, 4);
+        assert_eq!(s.run_started, Timestamp(10));
+        assert_eq!(s.run_ended, Timestamp(60));
+        let src = s.actor("src").unwrap();
+        assert_eq!((src.fires, src.attempts), (2, 2));
+        assert_eq!(src.busy, Micros(10));
+        assert_eq!(src.events_in, 4);
+        assert_eq!(src.tokens_out, 6);
+        let sink = s.actor("sink").unwrap();
+        assert_eq!((sink.fires, sink.attempts), (1, 2));
+        assert_eq!(sink.windows_closed, 3);
+        assert_eq!(sink.queue_high_water, 6);
+        assert_eq!(sink.events_expired, 9);
+        // Only the sink firing with an origin feeds the latency histogram.
+        assert_eq!(s.latency.count, 1);
+        assert_eq!(s.latency.sum_micros, 30);
+    }
+
+    #[test]
+    fn non_sink_origins_do_not_feed_latency() {
+        let r = recorder2();
+        r.on_fire_end(&fire(0, 1, Some(5), 9));
+        assert_eq!(r.snapshot().latency.count, 0);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let r = MetricsRecorder::with_names(vec!["a\"b".into()], vec![true]);
+        r.on_fire_end(&fire(0, 2, Some(1), 4));
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"a\\\"b\""));
+        assert!(json.contains("\"fires\":1"));
+        assert!(json.contains("\"events_routed\":0"));
+        assert!(json.contains("\"latency\":{\"count\":1"));
+        // Balanced braces/brackets — cheap structural check without a parser.
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let r = recorder2();
+        r.on_fire_end(&fire(0, 5, None, 20));
+        r.on_fire_end(&fire(1, 7, Some(20), 50));
+        r.on_route(ActorId(0), 2, Timestamp(20));
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE confluence_actor_fires_total counter"));
+        assert!(text.contains("confluence_actor_fires_total{actor=\"src\"} 1"));
+        assert!(text.contains("confluence_actor_fires_total{actor=\"sink\"} 1"));
+        assert!(text.contains("confluence_events_routed_total 2"));
+        assert!(text.contains("# TYPE confluence_tuple_latency_seconds histogram"));
+        assert!(text.contains("confluence_tuple_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("confluence_tuple_latency_seconds_count 1"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn table_lists_every_actor() {
+        let r = recorder2();
+        r.on_fire_end(&fire(0, 5, None, 20));
+        let table = r.snapshot().render_table();
+        assert!(table.contains("actor"));
+        assert!(table.contains("src"));
+        assert!(table.contains("sink"));
+        assert!(table.contains("routed=0"));
+    }
+}

@@ -5,6 +5,7 @@
 //! the *thrash point* — the moment a scheduler's response time departs for
 //! good (the offered rate has passed the sustainable capacity).
 
+use confluence_core::telemetry::{HistogramSnapshot, LatencyHistogram};
 use confluence_core::time::{Micros, Timestamp};
 
 /// A response-time series: `(observation time, response time)` samples.
@@ -137,6 +138,18 @@ impl ResponseSeries {
         }
     }
 
+    /// Fold the series into the engine's fixed-bucket latency histogram
+    /// (the same representation the telemetry recorder exports), so
+    /// benchmark response times and engine-collected tuple latencies are
+    /// directly comparable and share the Prometheus export path.
+    pub fn to_histogram(&self) -> HistogramSnapshot {
+        let hist = LatencyHistogram::new();
+        for (_, lat) in &self.samples {
+            hist.record(*lat);
+        }
+        hist.snapshot()
+    }
+
     /// Render the bucketed curve as aligned text rows (`time  response`),
     /// the textual analog of the paper's figures.
     pub fn render(&self, bucket_secs: u64) -> String {
@@ -217,6 +230,18 @@ mod tests {
         // Never saturating → None.
         let calm = ResponseSeries::new(vec![sample(0, 100), sample(10, 150)]);
         assert_eq!(calm.thrash_point(10, 4.0, 1), None);
+    }
+
+    #[test]
+    fn histogram_bridge_matches_series() {
+        let s = ResponseSeries::new(vec![sample(1, 100), sample(2, 300), sample(3, 200)]);
+        let h = s.to_histogram();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_micros, 600_000);
+        assert_eq!(h.max_micros, 300_000);
+        // The mean agrees with the series' own statistic.
+        assert!((h.mean().as_micros() as f64 / 1e6 - s.mean_secs()).abs() < 1e-6);
+        assert_eq!(ResponseSeries::default().to_histogram().count, 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use confluence_core::director::RunReport;
 use confluence_core::error::{Error, Result};
 use confluence_core::graph::Workflow;
+use confluence_core::telemetry::Telemetry;
 use confluence_core::time::{Micros, Timestamp, VirtualClock};
 
 use crate::cost::CostModel;
@@ -61,6 +62,14 @@ impl WorkflowManager {
     /// Local policy name.
     pub fn policy_name(&self) -> &'static str {
         self.core.policy_name()
+    }
+
+    /// Attach telemetry to this instance: firing and routing hooks flow to
+    /// the observer; a stop request finishes the instance at the next
+    /// firing boundary. Attach before the first slice so the instance's
+    /// fabric is built observed.
+    pub fn instrument(&mut self, telemetry: Telemetry) {
+        self.core.set_telemetry(telemetry);
     }
 }
 
@@ -147,6 +156,17 @@ impl MultiWorkflowExecutor {
         if m.state == ManagerState::Paused {
             m.state = ManagerState::Running;
         }
+        Ok(())
+    }
+
+    /// Attach telemetry to an instance (call before `run()` so the
+    /// instance's fabric is built observed).
+    pub fn instrument(&mut self, idx: usize, telemetry: Telemetry) -> Result<()> {
+        let m = self
+            .managers
+            .get_mut(idx)
+            .ok_or_else(|| Error::Scheduler(format!("no workflow instance {idx}")))?;
+        m.instrument(telemetry);
         Ok(())
     }
 

@@ -31,6 +31,7 @@ use confluence_core::director::ddf::quasi_topological;
 use confluence_core::director::{Director, Fabric, QueueContext, RunReport};
 use confluence_core::error::Result;
 use confluence_core::graph::{ActorId, Workflow};
+use confluence_core::telemetry::{FireRecord, RunPhase, Telemetry};
 use confluence_core::time::{Clock, Micros, Timestamp, VirtualClock, WallClock};
 use confluence_core::window::Window;
 
@@ -89,6 +90,7 @@ pub struct ScwfCore {
     state: Option<ExecState>,
     report: RunReport,
     started: Option<Timestamp>,
+    telemetry: Option<Telemetry>,
 }
 
 struct ExecState {
@@ -118,6 +120,7 @@ impl ScwfCore {
             state: None,
             report: RunReport::default(),
             started: None,
+            telemetry: None,
         }
     }
 
@@ -133,7 +136,18 @@ impl ScwfCore {
             state: None,
             report: RunReport::default(),
             started: None,
+            telemetry: None,
         }
+    }
+
+    /// Attach telemetry. Call before the first slice so the fabric is
+    /// built observed; firing hooks always flow regardless.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn should_stop(&self) -> bool {
+        self.telemetry.as_ref().is_some_and(|t| t.should_stop())
     }
 
     /// Current time on the core's clock.
@@ -161,7 +175,11 @@ impl ScwfCore {
             return Ok(());
         }
         self.started = Some(self.now());
-        let fabric = Fabric::build(workflow)?;
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Start, self.now());
+        }
+        let observer = self.telemetry.as_ref().map(|t| t.observer.clone());
+        let fabric = Fabric::build_observed(workflow, observer)?;
         let stats = StatsModule::new(workflow);
         let n = workflow.actor_count();
         let queues: Vec<VecDeque<(usize, Window)>> = (0..n).map(|_| VecDeque::new()).collect();
@@ -276,6 +294,10 @@ impl ScwfCore {
                         return Ok(Progress::Finished);
                     }
                 }
+                if self.should_stop() {
+                    self.finish(workflow)?;
+                    return Ok(Progress::Finished);
+                }
                 if let Some(b) = budget {
                     if spent >= b {
                         // Pause the slice; the next run_for call determines
@@ -317,6 +339,9 @@ impl ScwfCore {
             if !st.closed {
                 st.closed = true;
                 let now = self.mode.now();
+                if let Some(t) = &self.telemetry {
+                    t.observer.on_run_phase(RunPhase::Close, now);
+                }
                 for id in st.topo.clone() {
                     st.fabric.close_actor_outputs(id, now);
                 }
@@ -366,6 +391,9 @@ impl ScwfCore {
                 None => return Ok(None),
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.observer.on_fire_start(id, fire_start);
+        }
         let fired = {
             let actor = workflow.node_mut(id).actor_mut();
             if actor.prefire(ctx)? {
@@ -379,6 +407,7 @@ impl ScwfCore {
         let consumed = ctx.consumed_events;
         let (emissions, trigger) = ctx.take_emissions();
         let produced = emissions.len() as u64;
+        let origin = trigger.as_ref().map(|w| w.origin());
         let cost = if fired {
             match &self.mode {
                 TimeMode::Virtual { clock, cost } => {
@@ -406,6 +435,18 @@ impl ScwfCore {
             (trigger, self.mode.now())
         };
         self.report.events_routed += st.fabric.route(id, emissions, parent.as_ref(), stamp_at)?;
+        if let Some(t) = &self.telemetry {
+            t.observer.on_fire_end(&FireRecord {
+                actor: id,
+                started: fire_start,
+                ended: self.mode.now(),
+                busy: cost,
+                events_in: consumed,
+                tokens_out: produced,
+                origin,
+                fired,
+            });
+        }
         {
             let actor = workflow.node_mut(id).actor_mut();
             let ctx = &mut st.contexts[a];
@@ -420,11 +461,17 @@ impl ScwfCore {
             return Ok(());
         }
         st.wrapped_up = true;
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Wrapup, self.mode.now());
+        }
         for id in workflow.actor_ids() {
             workflow.node_mut(id).actor_mut().wrapup()?;
         }
         if let Some(started) = self.started {
             self.report.elapsed = self.mode.now().since(started);
+        }
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::End, self.mode.now());
         }
         Ok(())
     }
@@ -496,6 +543,10 @@ impl Director for ScwfDirector {
             match self.core.run_for(workflow, None)? {
                 Progress::Finished => break,
                 Progress::IdleUntil(t) => {
+                    if self.core.should_stop() {
+                        self.core.finish(workflow)?;
+                        break;
+                    }
                     if let Some(limit) = self.core.deadline {
                         if t > limit {
                             // Nothing more can happen before the deadline.
@@ -509,6 +560,11 @@ impl Director for ScwfDirector {
             }
         }
         Ok(self.core.report().clone())
+    }
+
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        self.core.set_telemetry(telemetry);
+        true
     }
 }
 

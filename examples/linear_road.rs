@@ -5,10 +5,10 @@
 //! cargo run --release --example linear_road
 //! ```
 
-use confluence::core::director::Director;
 use confluence::linearroad::{self, golden, LrOptions, Workload, WorkloadConfig};
 use confluence::sched::policies::QbsScheduler;
 use confluence::sched::ScwfDirector;
+use confluence::Engine;
 
 fn main() -> confluence::prelude::Result<()> {
     // A quarter-scale workload keeps the example quick even in debug mode.
@@ -23,13 +23,14 @@ fn main() -> confluence::prelude::Result<()> {
         workload.config.duration_secs
     );
 
-    let mut lr = linearroad::build(&workload, &LrOptions::default())?;
+    let lr = linearroad::build(&workload, &LrOptions::default())?;
     let policy = Box::new(QbsScheduler::new(500, 5));
     let cost = Box::new(confluence::linearroad::cost::staf_cost_model());
-    let mut director = ScwfDirector::virtual_time(policy, cost);
-    let report = director.run(&mut lr.workflow)?;
+    let mut engine = Engine::new(lr.workflow).with_director(ScwfDirector::virtual_time(policy, cost));
+    let report = engine.run()?;
 
     println!("firings: {}, events routed: {}", report.firings, report.events_routed);
+    println!("\n{}", engine.snapshot().render_table());
     println!("toll notifications:     {}", lr.toll_output.len());
     println!("accident alerts:        {}", lr.accident_output.len());
     let accidents = lr

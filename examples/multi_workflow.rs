@@ -7,6 +7,8 @@
 //! cargo run --example multi_workflow
 //! ```
 
+use std::sync::Arc;
+
 use confluence::core::actors::{LatencyProbe, TimedSource};
 use confluence::core::graph::{Workflow, WorkflowBuilder};
 use confluence::core::time::{Micros, Timestamp};
@@ -14,6 +16,7 @@ use confluence::core::token::Token;
 use confluence::sched::cost::TableCostModel;
 use confluence::sched::multi::MultiWorkflowExecutor;
 use confluence::sched::policies::{FifoScheduler, QbsScheduler};
+use confluence::{MetricsRecorder, Telemetry};
 
 fn stream_workflow(events: u64, period_us: u64) -> (Workflow, LatencyProbe) {
     let probe = LatencyProbe::new();
@@ -23,7 +26,7 @@ fn stream_workflow(events: u64, period_us: u64) -> (Workflow, LatencyProbe) {
     let mut b = WorkflowBuilder::new("stream");
     let s = b.add_actor("src", TimedSource::new(schedule));
     let k = b.add_actor("probe", probe.actor());
-    b.connect(s, "out", k, "in").unwrap();
+    b.chain(&[s, k]).unwrap();
     (b.build().unwrap(), probe)
 }
 
@@ -34,6 +37,7 @@ fn main() -> confluence::prelude::Result<()> {
     // the premium instance holds 4× the capacity share.
     let (wf_premium, p_premium) = stream_workflow(2_000, 100);
     let (wf_basic, p_basic) = stream_workflow(2_000, 100);
+    let recorder = Arc::new(MetricsRecorder::for_workflow(&wf_premium));
     let premium = exec.add_workflow(
         "premium",
         wf_premium,
@@ -49,6 +53,10 @@ fn main() -> confluence::prelude::Result<()> {
         1,
     );
 
+    // Observe the premium instance: per-actor metrics flow into a
+    // recorder while the global scheduler slices CPU between instances.
+    exec.instrument(premium, Telemetry::new(recorder.clone()))?;
+
     exec.run()?;
 
     let m_premium = p_premium.mean_latency().expect("premium produced output");
@@ -59,6 +67,7 @@ fn main() -> confluence::prelude::Result<()> {
         "capacity shares bite: premium is {:.1}x faster",
         m_basic.as_micros() as f64 / m_premium.as_micros() as f64
     );
+    println!("\npremium instance metrics:\n{}", recorder.snapshot().render_table());
     assert!(m_premium < m_basic);
     Ok(())
 }

@@ -10,7 +10,6 @@
 
 use confluence::core::actor::IoSignature;
 use confluence::core::actors::{Collector, FnActor, TimedSource};
-use confluence::core::director::Director;
 use confluence::core::graph::WorkflowBuilder;
 use confluence::core::time::{Micros, Timestamp};
 use confluence::core::token::Token;
@@ -18,6 +17,7 @@ use confluence::core::window::WindowSpec;
 use confluence::sched::cost::TableCostModel;
 use confluence::sched::policies::QbsScheduler;
 use confluence::sched::ScwfDirector;
+use confluence::Engine;
 
 fn main() -> confluence::prelude::Result<()> {
     // 1. An external stream: one temperature reading every 100 ms.
@@ -61,13 +61,14 @@ fn main() -> confluence::prelude::Result<()> {
     b.connect(avg, "out", avg_sink, "in")?;
     b.connect(alarm, "out", alert_sink, "in")?;
     b.set_priority(alert_sink, 5); // alerts are the urgent output
-    let mut workflow = b.build()?;
+    let workflow = b.build()?;
 
-    // 3. Run under the QBS scheduler in virtual time.
+    // 3. Run under the QBS scheduler in virtual time, through the engine
+    // facade: telemetry is collected automatically.
     let policy = Box::new(QbsScheduler::new(500, 5));
     let cost = Box::new(TableCostModel::uniform(Micros(50), Micros(5)));
-    let mut director = ScwfDirector::virtual_time(policy, cost);
-    let report = director.run(&mut workflow)?;
+    let mut engine = Engine::new(workflow).with_director(ScwfDirector::virtual_time(policy, cost));
+    let report = engine.run()?;
 
     println!("firings: {}, events routed: {}", report.firings, report.events_routed);
     println!("window averages: {}", averages.len());
@@ -75,6 +76,9 @@ fn main() -> confluence::prelude::Result<()> {
     for t in alerts.tokens().iter().take(5) {
         println!("  ALERT: rolling average {t}");
     }
+
+    // 4. Per-actor metrics come from the same run, no extra plumbing.
+    println!("\n{}", engine.snapshot().render_table());
     assert!(!averages.is_empty());
     Ok(())
 }

@@ -7,7 +7,6 @@
 //! cargo run --example spec_language
 //! ```
 
-use confluence::core::director::Director;
 use confluence::core::actors::{Collector, TimedSource};
 use confluence::core::spec::{parse, ActorRegistry};
 use confluence::core::time::{Micros, Timestamp};
@@ -15,6 +14,7 @@ use confluence::core::token::Token;
 use confluence::sched::cost::TableCostModel;
 use confluence::sched::policies::RrScheduler;
 use confluence::sched::ScwfDirector;
+use confluence::Engine;
 
 const SPEC: &str = r#"
     workflow sensor-grid {
@@ -65,18 +65,21 @@ fn main() -> confluence::prelude::Result<()> {
         registry.register("collect_audit", move |_p| Ok(Box::new(au.actor())));
     }
 
-    let mut workflow = parse(SPEC, &registry)?;
+    let workflow = parse(SPEC, &registry)?;
     println!("parsed `{}` with {} actors", workflow.name(), workflow.actor_count());
     println!("\nGraphviz:\n{}", workflow.to_dot());
 
-    let mut director = ScwfDirector::virtual_time(
+    let mut engine = Engine::new(workflow).with_director(ScwfDirector::virtual_time(
         Box::new(RrScheduler::new(20_000, 5)),
         Box::new(TableCostModel::uniform(Micros(40), Micros(5))),
-    );
-    let report = director.run(&mut workflow)?;
+    ));
+    let report = engine.run()?;
     println!("firings: {}  events: {}", report.firings, report.events_routed);
     println!("alert windows delivered: {}", alerts.len());
     println!("expired readings audited: {}", audit.len());
+    let snap = engine.snapshot();
+    let limiter = snap.actor("limiter").expect("limiter actor is present");
+    println!("limiter expired {} readings into the audit path", limiter.events_expired);
     assert!(!alerts.is_empty());
     Ok(())
 }

@@ -14,10 +14,10 @@ use std::time::Duration;
 use confluence::core::actor::IoSignature;
 use confluence::core::actors::{Collector, FnActor, PushSource, Router};
 use confluence::core::director::threaded::ThreadedDirector;
-use confluence::core::director::Director;
 use confluence::core::graph::WorkflowBuilder;
 use confluence::core::token::Token;
 use confluence::core::window::{GroupBy, WindowSpec};
+use confluence::Engine;
 
 fn tick(symbol: &str, price: f64, volume: i64) -> Token {
     Token::record()
@@ -83,9 +83,11 @@ fn main() -> confluence::prelude::Result<()> {
         WindowSpec::tuples(8, 1).group_by(GroupBy::fields(&["symbol"])),
     )?;
     b.connect(vwap, "out", signal, "in")?;
-    b.connect(signal, "buy", buy_sink, "in")?;
-    b.connect(signal, "sell", sell_sink, "in")?;
-    let mut workflow = b.build()?;
+    // Ports resolve by name or by index: the router's outputs are
+    // "buy" (#0) and "sell" (#1).
+    b.connect(signal, 0, buy_sink, "in")?;
+    b.connect(signal, "sell", sell_sink, 0)?;
+    let workflow = b.build()?;
 
     // The producer: a market feed pushing ticks from another thread while
     // the workflow is live (the push-communication model of CWfs).
@@ -107,7 +109,8 @@ fn main() -> confluence::prelude::Result<()> {
         // Dropping the handle ends the stream and the run.
     });
 
-    ThreadedDirector::new().run(&mut workflow)?;
+    let mut engine = Engine::new(workflow).with_director(ThreadedDirector::new());
+    engine.run()?;
     producer.join().expect("producer finishes");
 
     println!("buy signals:  {}", buys.len());
@@ -118,6 +121,7 @@ fn main() -> confluence::prelude::Result<()> {
     for t in sells.tokens().iter().take(3) {
         println!("  SELL {t}");
     }
+    println!("\n{}", engine.snapshot().render_table());
     assert!(buys.len() + sells.len() > 0, "the band was crossed");
     Ok(())
 }

@@ -10,7 +10,6 @@
 
 use confluence::core::actor::IoSignature;
 use confluence::core::actors::{Collector, FnActor, TimedSource};
-use confluence::core::director::Director;
 use confluence::core::graph::WorkflowBuilder;
 use confluence::core::time::{Micros, Timestamp};
 use confluence::core::token::Token;
@@ -20,6 +19,7 @@ use confluence::relstore::{Schema, StoreHandle, ValueType};
 use confluence::sched::cost::TableCostModel;
 use confluence::sched::policies::RbScheduler;
 use confluence::sched::ScwfDirector;
+use confluence::Engine;
 
 fn order(item: &str, qty: i64, t: u64) -> (Timestamp, Token) {
     (
@@ -137,15 +137,15 @@ fn main() -> confluence::prelude::Result<()> {
             .with_timeout(Micros::from_secs(5)),
     )?;
     b.connect(plan, "out", restock_sink, "in")?;
-    let mut workflow = b.build()?;
+    let workflow = b.build()?;
 
     // Rate-Based scheduling: restock planning is cheap and productive, so
     // the Highest Rate policy keeps it timely.
-    let mut director = ScwfDirector::virtual_time(
+    let mut engine = Engine::new(workflow).with_director(ScwfDirector::virtual_time(
         Box::new(RbScheduler::new()),
         Box::new(TableCostModel::uniform(Micros(80), Micros(10))),
-    );
-    director.run(&mut workflow)?;
+    ));
+    engine.run()?;
 
     let final_stock: Vec<(String, i64)> = store.read(|s| {
         s.table("inventory")
@@ -160,6 +160,7 @@ fn main() -> confluence::prelude::Result<()> {
         println!("  RESTOCK {t}");
     }
     println!("final inventory:  {final_stock:?}");
+    println!("\n{}", engine.snapshot().render_table());
     assert!(!confirmations.is_empty());
     Ok(())
 }

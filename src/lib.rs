@@ -8,11 +8,27 @@
 //! This crate re-exports the workspace members:
 //!
 //! * [`core`] — the continuous-workflow model: tokens, waves, windows,
-//!   receivers, actors, and the PNCWF/SDF/DDF/DE directors;
+//!   receivers, actors, the PNCWF/SDF/DDF/DE directors, and the
+//!   [`Engine`] run facade with its telemetry layer;
 //! * [`sched`] — STAFiLOS: the scheduled CWF director, the abstract
 //!   scheduler, and the QBS/RR/RB policies;
 //! * [`relstore`] — the embedded relational store substrate;
 //! * [`linearroad`] — the Linear Road benchmark as a continuous workflow.
+//!
+//! The recommended entry point is the [`Engine`] facade, which runs a
+//! workflow under any director and collects structured per-actor metrics:
+//!
+//! ```no_run
+//! use confluence::prelude::*;
+//!
+//! # fn demo(workflow: Workflow) -> Result<()> {
+//! let mut engine = Engine::new(workflow).with_director(ThreadedDirector::new());
+//! engine.run()?;
+//! let snapshot = engine.snapshot();
+//! println!("{}", snapshot.render_table());
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -21,15 +37,29 @@ pub use confluence_linearroad as linearroad;
 pub use confluence_relstore as relstore;
 pub use confluence_sched as sched;
 
+// The engine facade and its observability surface, re-exported flat.
+pub use confluence_core::engine::{Engine, RunHandle, StopCondition};
+pub use confluence_core::telemetry::{
+    MetricsRecorder, MetricsSnapshot, Observer, RunPhase, Telemetry,
+};
+
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use confluence_core::actor::{Actor, FireContext, IoSignature};
     pub use confluence_core::actors::*;
+    pub use confluence_core::director::ddf::DdfDirector;
+    pub use confluence_core::director::de::DeDirector;
+    pub use confluence_core::director::sdf::SdfDirector;
     pub use confluence_core::director::threaded::ThreadedDirector;
-    pub use confluence_core::director::Director;
+    pub use confluence_core::director::{Director, RunReport};
+    pub use confluence_core::engine::{Engine, RunHandle, StopCondition};
     pub use confluence_core::error::{Error, Result};
-    pub use confluence_core::graph::{ActorId, Workflow, WorkflowBuilder};
+    pub use confluence_core::graph::{ActorId, PortSel, Workflow, WorkflowBuilder};
+    pub use confluence_core::telemetry::{
+        MetricsRecorder, MetricsSnapshot, Observer, RunPhase, Telemetry,
+    };
     pub use confluence_core::time::{Micros, Timestamp};
     pub use confluence_core::token::Token;
     pub use confluence_core::window::{GroupBy, Measure, Window, WindowSpec};
+    pub use confluence_sched::ScwfDirector;
 }

@@ -1,0 +1,158 @@
+//! Minimal in-tree stand-in for the `criterion` crate. The build
+//! environment has no network access to a crates registry, so the
+//! workspace vendors the slice its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`, `Bencher::{iter,
+//! iter_with_setup}`, and the `criterion_group!`/`criterion_main!`
+//! macros. It times each routine with `std::time::Instant` and prints
+//! mean ns/iter — no warm-up modeling, outlier analysis, or HTML
+//! reports, but enough to run `cargo bench` end to end and compare runs
+//! by eye.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), 10, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, name.as_ref()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: samples.min(10) as u64,
+        iters: 0,
+        elapsed_nanos: 0,
+    };
+    f(&mut b);
+    match b.elapsed_nanos.checked_div(b.iters) {
+        None => println!("{label}: no iterations recorded"),
+        Some(per_iter) => println!("{label}: {per_iter} ns/iter ({} iters)", b.iters),
+    }
+}
+
+pub struct Bencher {
+    samples: u64,
+    iters: u64,
+    elapsed_nanos: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.elapsed_nanos += start.elapsed().as_nanos() as u64;
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed_nanos += start.elapsed().as_nanos() as u64;
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("iter", |b| b.iter(|| black_box(2u64 + 2)));
+        g.bench_function("iter_with_setup", |b| {
+            b.iter_with_setup(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1u8)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal in-tree stand-in for the `crossbeam` crate. The build
+//! environment has no network access to a crates registry, so the
+//! workspace vendors the slice it uses: `channel::{unbounded, Sender,
+//! Receiver, TryRecvError}`, delegated to `std::sync::mpsc`.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn try_iter(&self) -> std::sync::mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn send_and_drain() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop(tx);
+        drop(tx2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+}

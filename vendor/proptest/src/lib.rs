@@ -1,0 +1,381 @@
+//! Minimal in-tree stand-in for the `proptest` crate. The build
+//! environment has no network access to a crates registry, so the
+//! workspace vendors the slice its property tests use: the `proptest!`
+//! macro, range/tuple/vec strategies, `prop_map`, `prop_oneof!`,
+//! `prop_assume!`, and the `prop_assert*` family.
+//!
+//! Cases are generated from a deterministic per-test seed (FNV-1a of the
+//! test name), so failures reproduce exactly on re-run. There is **no
+//! shrinking**: a failing case panics with the plain assert message. Set
+//! the case count per block with `#![proptest_config(...)]` as usual.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator driving case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Marker returned by `prop_assume!` rejections; the runner skips the
+    /// case (no retry accounting — the case budget is fixed).
+    #[derive(Debug)]
+    pub struct Reject;
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the offline suite quick
+            // while still exercising the properties broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A value generator. Unlike upstream proptest there is no value
+    /// tree / shrinking: `generate` draws one value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between boxed alternatives — the `prop_oneof!` body.
+    pub struct Union<V> {
+        cases: Vec<BoxedGen<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(cases: Vec<BoxedGen<V>>) -> Self {
+            assert!(!cases.is_empty(), "prop_oneof! needs at least one case");
+            Union { cases }
+        }
+    }
+
+    pub fn union_case<S>(s: S) -> BoxedGen<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| s.generate(rng))
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.cases.len());
+            (self.cases[i])(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Upstream-compatible `prop::` paths (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @blocks ($cfg) $($rest)* }
+    };
+    (@blocks ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __pt_case in 0..__pt_cfg.cases {
+                let _ = __pt_case;
+                #[allow(clippy::redundant_closure_call)]
+                let __pt_outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    (|| {
+                        $crate::__proptest_bind!(__pt_rng $($params)*);
+                        {
+                            $body
+                        }
+                        Ok(())
+                    })();
+                // A Reject (prop_assume! miss) just skips the case.
+                let _ = __pt_outcome;
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @blocks ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($case:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::union_case($case) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Add(i64),
+        Clear,
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                (0..100i64).prop_map(Op::Add),
+                Just(Op::Clear),
+            ],
+            0..20,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..9, y in -5i64..5, mut z in 1usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            z += 1;
+            prop_assert!((2..5).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_vec(pairs in prop::collection::vec((1u8..6, 0u8..4), 1..6)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 6);
+            for (a, b) in pairs {
+                prop_assert!((1..6).contains(&a));
+                prop_assert!(b < 4);
+            }
+        }
+
+        #[test]
+        fn assume_skips_without_failing(step in 1usize..10, size in 1usize..10) {
+            prop_assume!(step <= size);
+            prop_assert!(step <= size);
+        }
+
+        #[test]
+        fn oneof_hits_every_case(ops in ops()) {
+            for op in &ops {
+                match op {
+                    Op::Add(v) => prop_assert!((0..100).contains(v)),
+                    Op::Clear => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal in-tree stand-in for the `rand` crate. The build environment
+//! has no network access to a crates registry, so the workspace vendors
+//! the slice it uses: a deterministic seeded `StdRng` (SplitMix64 core —
+//! NOT the upstream ChaCha12, so seeded streams differ from real `rand`,
+//! which is fine: the workspace only relies on determinism per seed),
+//! `gen_range` over integer and float ranges, and `gen_bool`.
+
+use std::ops::Range;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling support for the payload types the workspace draws.
+pub trait SampleUniform: Sized {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        f64_unit(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn f64_unit(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (range.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + f64_unit(rng.next_u64()) * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+        f64::sample(rng, range.start as f64..range.end as f64) as f32
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, fast, passes basic statistical tests, and fully
+    /// deterministic from the seed — all this workspace needs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..2i64);
+            assert!((0..2).contains(&v));
+            let f = rng.gen_range(48.0..75.0);
+            assert!((48.0..75.0).contains(&f));
+            let u = rng.gen_range(5usize..6);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.65)).count();
+        assert!((6_000..7_300).contains(&hits), "hits={hits}");
+    }
+}
