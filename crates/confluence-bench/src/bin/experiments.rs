@@ -65,6 +65,10 @@ fn main() {
             run.label,
             run.metrics.render_table()
         );
+        println!(
+            "backpressure: blocks={} block_time={} shed={} queue_high_water={}",
+            run.channel_blocks, run.channel_block_time, run.channel_shed, run.queue_high_water
+        );
         write_csv("fig5_actor_metrics.json", run.metrics.to_json());
     }
     if all || has("--fig6") {

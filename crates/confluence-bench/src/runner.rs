@@ -99,6 +99,14 @@ pub struct LrRun {
     /// Fraction of position reports dropped by the shedder (0 when
     /// shedding is off).
     pub shed_fraction: f64,
+    /// Backpressure blocks observed at full bounded channels.
+    pub channel_blocks: u64,
+    /// Total time writers spent blocked on full channels.
+    pub channel_block_time: Micros,
+    /// Events shed by drop channel policies at full channels.
+    pub channel_shed: u64,
+    /// Highest inbox depth observed anywhere in the fabric.
+    pub queue_high_water: u64,
     /// Per-actor metrics from the core telemetry recorder.
     pub metrics: MetricsSnapshot,
 }
@@ -166,6 +174,7 @@ pub fn run_linear_road_with(
         .as_ref()
         .map(|h| h.stats().drop_fraction())
         .unwrap_or(0.0);
+    let metrics = recorder.snapshot();
     LrRun {
         label: kind.label(),
         toll_count: lr.toll_output.len(),
@@ -174,7 +183,11 @@ pub fn run_linear_road_with(
         thrash_secs,
         firings: report.firings,
         shed_fraction,
-        metrics: recorder.snapshot(),
+        channel_blocks: metrics.total_blocks(),
+        channel_block_time: metrics.total_block_time(),
+        channel_shed: metrics.total_shed(),
+        queue_high_water: metrics.max_queue_high_water(),
+        metrics,
     }
 }
 

@@ -206,7 +206,7 @@ impl Director for DdfDirector {
         }
         let order = quasi_topological(workflow);
         for id in order {
-            fabric.close_actor_outputs(id, self.clock.now());
+            fabric.close_actor_outputs(id, self.clock.now())?;
             let mut again = true;
             while again {
                 again = false;

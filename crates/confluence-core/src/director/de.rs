@@ -313,7 +313,7 @@ impl Director for DeDirector {
             t.observer.on_run_phase(RunPhase::Close, self.clock.now());
         }
         for id in super::ddf::quasi_topological(workflow) {
-            fabric.close_actor_outputs(id, self.clock.now());
+            fabric.close_actor_outputs(id, self.clock.now())?;
             for target in workflow.actor_ids() {
                 drain_inbox!(target);
             }

@@ -27,18 +27,31 @@ pub mod taxonomy;
 pub mod threaded;
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crate::actor::FireContext;
+use crate::channel::OnFull;
 use crate::error::Result;
 use crate::event::{CwEvent, WaveStamper};
 use crate::graph::{ActorId, PortRef, Workflow};
-use crate::receiver::{ActorInbox, PortReceiver};
+use crate::receiver::{ActorInbox, PortReceiver, TryPut};
 use crate::telemetry::{Observer, Telemetry};
 use crate::time::{Micros, Timestamp};
 use crate::token::Token;
 use crate::wave::WaveTag;
 use crate::window::Window;
+
+/// How long a blocked writer waits on the space condvar per slice before
+/// re-checking global progress.
+const BLOCK_POLL: Duration = Duration::from_millis(5);
+
+/// How long the whole fabric must make zero progress (no pushes, no pops)
+/// while a writer is blocked before Parks-style relief grows a queue.
+const RELIEF_PATIENCE: Duration = Duration::from_millis(50);
 
 /// Outcome of a workflow run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -81,6 +94,18 @@ pub struct Fabric {
     has_expired_routes: bool,
     /// Telemetry sink for routing/window/expiry hooks, if instrumented.
     observer: Option<Arc<dyn Observer>>,
+    /// Fabric-wide progress counter shared with every inbox: bumped on each
+    /// push and pop. A blocked writer that sees it frozen concludes the
+    /// network is artificially deadlocked (all writers blocked on full
+    /// queues) and triggers relief.
+    progress: Arc<AtomicU64>,
+    /// Whether `Block` policies really block the calling thread (the
+    /// thread-based director enables this; cooperative directors must not
+    /// block their scheduling loop and admit over capacity instead).
+    blocking: AtomicBool,
+    /// Serializes deadlock relief so concurrent stalled writers grow one
+    /// queue at a time.
+    relief_lock: Mutex<()>,
 }
 
 impl Fabric {
@@ -109,12 +134,13 @@ impl Fabric {
                 }
             }
         }
+        let progress = Arc::new(AtomicU64::new(0));
         let mut inboxes = Vec::with_capacity(workflow.actor_count());
         let mut receivers = Vec::with_capacity(workflow.actor_count());
         for id in workflow.actor_ids() {
             let node = workflow.node(id);
             let n_inputs = node.signature.inputs.len();
-            let inbox = ActorInbox::new(n_inputs);
+            let inbox = ActorInbox::new_shared(n_inputs, progress.clone());
             let mut ports = Vec::with_capacity(n_inputs);
             for port in 0..n_inputs {
                 let channels = workflow.in_degree(id, port);
@@ -123,11 +149,12 @@ impl Fabric {
                     .copied()
                     .unwrap_or(0);
                 let upstreams = channels + feeders;
-                let receiver = Arc::new(PortReceiver::new(
+                let receiver = Arc::new(PortReceiver::with_policy(
                     workflow.window_spec(id, port).clone(),
                     inbox.clone(),
                     port,
                     upstreams.max(1),
+                    workflow.channel_policy(id, port),
                 )?);
                 if upstreams == 0 {
                     // Nothing will ever feed this port: close it now so the
@@ -163,7 +190,23 @@ impl Fabric {
             expired_routes,
             has_expired_routes,
             observer,
+            progress,
+            blocking: AtomicBool::new(false),
+            relief_lock: Mutex::new(()),
         })
+    }
+
+    /// Make `Block` channel policies really block the writing thread (PN
+    /// semantics). The thread-based director enables this; cooperative
+    /// directors leave it off and admit over capacity, reporting a
+    /// zero-wait block instead.
+    pub fn set_blocking(&self, on: bool) {
+        self.blocking.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether `Block` policies block the writing thread.
+    pub fn blocking_enabled(&self) -> bool {
+        self.blocking.load(Ordering::Relaxed)
     }
 
     /// The observer attached at build time, if any (directors that stamp
@@ -182,6 +225,92 @@ impl Fabric {
         if let Some(obs) = &self.observer {
             let depth = self.inboxes[dest.actor.0].len();
             obs.on_window_close(dest.actor, dest.port, windows, depth, now);
+        }
+    }
+
+    /// The single capacity-aware admission point: every event entering a
+    /// receiver goes through here so channel policies apply uniformly.
+    ///
+    /// On a full `Block` port this blocks the calling thread (when
+    /// [`Fabric::set_blocking`] is on) in short condvar slices, watching
+    /// the fabric-wide progress counter; if nothing anywhere pushes or pops
+    /// for [`RELIEF_PATIENCE`], the network is treated as artificially
+    /// deadlocked and the smallest full queue is grown (Parks' algorithm).
+    /// Drop policies shed here and report `on_shed`; completed waits report
+    /// `on_block` with the time spent blocked.
+    fn put_event(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<usize> {
+        let receiver = &self.receivers[dest.actor.0][dest.port];
+        let mut event = event;
+        let mut wait_started: Option<Instant> = None;
+        let mut stalled_since: Option<Instant> = None;
+        loop {
+            match receiver.try_put(event, now)? {
+                TryPut::Stored(formed) => {
+                    if let (Some(start), Some(obs)) = (wait_started, &self.observer) {
+                        let waited = Micros(start.elapsed().as_micros() as u64);
+                        obs.on_block(dest.actor, dest.port, waited, now);
+                    }
+                    self.note_windows(dest, formed, now);
+                    return Ok(formed);
+                }
+                TryPut::Shed { dropped, windows } => {
+                    if let Some(obs) = &self.observer {
+                        obs.on_shed(dest.actor, dest.port, dropped, now);
+                    }
+                    self.note_windows(dest, windows, now);
+                    return Ok(windows);
+                }
+                TryPut::Full(ev) => {
+                    if !self.blocking_enabled() {
+                        // Cooperative director: admit over capacity rather
+                        // than block the scheduling loop; the zero-wait
+                        // block still shows up in telemetry.
+                        let formed = receiver.put(ev, now)?;
+                        if let Some(obs) = &self.observer {
+                            obs.on_block(dest.actor, dest.port, Micros(0), now);
+                        }
+                        self.note_windows(dest, formed, now);
+                        return Ok(formed);
+                    }
+                    event = ev;
+                    wait_started.get_or_insert_with(Instant::now);
+                    let seen = self.progress.load(Ordering::Relaxed);
+                    let has_space = receiver.inbox().wait_for_space(
+                        dest.port,
+                        receiver.effective_capacity(),
+                        BLOCK_POLL,
+                    );
+                    if has_space || self.progress.load(Ordering::Relaxed) != seen {
+                        stalled_since = None;
+                        continue;
+                    }
+                    let stalled = *stalled_since.get_or_insert_with(Instant::now);
+                    if stalled.elapsed() >= RELIEF_PATIENCE {
+                        self.relieve_deadlock();
+                        stalled_since = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parks-style artificial-deadlock relief: grow the smallest full
+    /// bounded `Block` queue so one writer can proceed. Serialized so
+    /// concurrently stalled writers grow one queue per detection.
+    fn relieve_deadlock(&self) {
+        let _guard = self.relief_lock.lock();
+        let smallest = self
+            .receivers
+            .iter()
+            .flatten()
+            .filter(|r| r.policy().is_bounded() && r.policy().on_full == OnFull::Block)
+            .filter(|r| r.is_full())
+            .min_by_key(|r| r.effective_capacity());
+        if let Some(r) = smallest {
+            r.grow_capacity();
+            // Count relief as progress so other stalled writers restart
+            // their patience window instead of piling on.
+            self.progress.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -204,8 +333,7 @@ impl Fabric {
                     obs.on_expire(ActorId(a), p, events.len() as u64, now);
                 }
                 for event in events {
-                    let formed = self.receivers[dest.actor.index()][dest.port].put(event, now)?;
-                    self.note_windows(*dest, formed, now);
+                    self.put_event(*dest, event, now)?;
                     routed += 1;
                 }
             }
@@ -253,8 +381,7 @@ impl Fabric {
         let mut delivered = 0u64;
         for (port, event) in events {
             for dest in &self.routes[from.0][port] {
-                let formed = self.receivers[dest.actor.0][dest.port].put(event.clone(), now)?;
-                self.note_windows(*dest, formed, now);
+                self.put_event(*dest, event.clone(), now)?;
                 delivered += 1;
             }
         }
@@ -269,9 +396,7 @@ impl Fabric {
     /// that stamp and schedule deliveries themselves instead of going
     /// through [`Fabric::route`].
     pub fn deliver(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<usize> {
-        let formed = self.receivers[dest.actor.0][dest.port].put(event, now)?;
-        self.note_windows(dest, formed, now);
-        Ok(formed)
+        self.put_event(dest, event, now)
     }
 
     /// Evaluate window timeouts on one actor's receivers at director time
@@ -298,7 +423,12 @@ impl Fabric {
     /// downstream receiver loses one upstream; the last closure flushes
     /// partial windows. Fully-closed ports with expired-items handlers
     /// hand their final expired events over and release the handler.
-    pub fn close_actor_outputs(&self, from: ActorId, now: Timestamp) {
+    ///
+    /// Hand-over goes through the same observed admission path as live
+    /// routing, so windows formed during shutdown still reach
+    /// `on_window_close` and put failures surface instead of being
+    /// silently dropped.
+    pub fn close_actor_outputs(&self, from: ActorId, now: Timestamp) -> Result<()> {
         let mut fully_closed: Vec<PortRef> = Vec::new();
         for port_routes in &self.routes[from.0] {
             for dest in port_routes {
@@ -314,13 +444,20 @@ impl Fabric {
                 continue;
             };
             let receiver = &self.receivers[port.actor.0][port.port];
-            for event in receiver.drain_expired() {
-                let _ = self.receivers[dest.actor.0][dest.port].put(event, now);
+            let events = receiver.drain_expired();
+            if !events.is_empty() {
+                if let Some(obs) = &self.observer {
+                    obs.on_expire(port.actor, port.port, events.len() as u64, now);
+                }
+            }
+            for event in events {
+                self.put_event(dest, event, now)?;
             }
             if self.receivers[dest.actor.0][dest.port].upstream_closed(now) {
                 fully_closed.push(dest);
             }
         }
+        Ok(())
     }
 
     /// Evaluate window timeouts on every receiver at director time `now`.
@@ -529,7 +666,7 @@ mod tests {
             .route(s, vec![(0, Token::Int(1))], None, Timestamp(1))
             .unwrap();
         assert!(fabric.inbox(k).is_empty(), "partial window not formed yet");
-        fabric.close_actor_outputs(s, Timestamp(2));
+        fabric.close_actor_outputs(s, Timestamp(2)).unwrap();
         let (_, w) = fabric.inbox(k).try_pop().expect("flush on close");
         assert!(w.timed_out);
         assert!(fabric.inbox(k).all_ports_closed());

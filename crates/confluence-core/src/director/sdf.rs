@@ -391,7 +391,7 @@ impl Director for SdfDirector {
         }
         for id in workflow.actor_ids() {
             workflow.node_mut(id).actor_mut().wrapup()?;
-            fabric.close_actor_outputs(id, self.clock.now());
+            fabric.close_actor_outputs(id, self.clock.now())?;
         }
         report.elapsed = self.clock.now().since(started);
         if let Some(t) = &self.telemetry {

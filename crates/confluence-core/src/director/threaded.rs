@@ -68,7 +68,11 @@ struct ControllerOutcome {
 impl Director for ThreadedDirector {
     fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
         let observer = self.telemetry.as_ref().map(|t| t.observer.clone());
-        let fabric = Arc::new(Fabric::build_observed(workflow, observer)?);
+        let fabric = Fabric::build_observed(workflow, observer)?;
+        // PN semantics: bounded channels really block the writing actor
+        // thread (cooperative directors leave this off).
+        fabric.set_blocking(true);
+        let fabric = Arc::new(fabric);
         let started = self.clock.now();
         if let Some(t) = &self.telemetry {
             t.observer.on_run_phase(RunPhase::Start, started);
@@ -207,9 +211,13 @@ fn controller(
                 if !actor.postfire(&mut ctx)? {
                     break;
                 }
-                if !emitted_any && actor.next_arrival() == Some(Timestamp::ZERO) {
-                    // Always-ready source with nothing to say (e.g. an idle
-                    // push source): back off instead of spinning.
+                if !emitted_any
+                    && matches!(actor.next_arrival(), None | Some(Timestamp::ZERO))
+                {
+                    // A source with nothing to say right now and no future
+                    // arrival to sleep toward (idle push source, or a
+                    // custom source whose timetable is exhausted but which
+                    // stays alive): back off instead of spinning.
                     thread::sleep(Duration::from_millis(1));
                 }
             }
@@ -234,15 +242,18 @@ fn controller(
                     InboxPop::Window(port, window) => {
                         let fire_start = clock.now();
                         ctx.set_now(fire_start);
-                        if let Some(t) = &tele {
-                            t.observer.on_fire_start(id, fire_start);
-                        }
                         ctx.deliver(port, window);
                         let mut fired = false;
                         let mut events_in = 0u64;
                         let mut tokens_out = 0u64;
                         let mut origin = None;
+                        // Fire telemetry mirrors the source branch: a
+                        // prefire refusal reports neither a start nor a
+                        // record, so busy-time stats agree across paths.
                         if actor.prefire(&mut ctx)? {
+                            if let Some(t) = &tele {
+                                t.observer.on_fire_start(id, fire_start);
+                            }
                             actor.fire(&mut ctx)?;
                             events_in = ctx.consumed_events;
                             let (emissions, trigger) = ctx.take_emissions();
@@ -254,18 +265,20 @@ fn controller(
                                 fabric.route(id, emissions, trigger.as_ref(), clock.now())?;
                             routed += fabric.route_expired(clock.now())?;
                         }
-                        if let Some(t) = &tele {
-                            let ended = clock.now();
-                            t.observer.on_fire_end(&FireRecord {
-                                actor: id,
-                                started: fire_start,
-                                ended,
-                                busy: ended.since(fire_start),
-                                events_in,
-                                tokens_out,
-                                origin,
-                                fired,
-                            });
+                        if fired {
+                            if let Some(t) = &tele {
+                                let ended = clock.now();
+                                t.observer.on_fire_end(&FireRecord {
+                                    actor: id,
+                                    started: fire_start,
+                                    ended,
+                                    busy: ended.since(fire_start),
+                                    events_in,
+                                    tokens_out,
+                                    origin,
+                                    fired,
+                                });
+                            }
                         }
                         if !actor.postfire(&mut ctx)? {
                             break;
@@ -285,12 +298,12 @@ fn controller(
         actor.wrapup()
     })();
 
-    fabric.close_actor_outputs(id, clock.now());
+    let close_error = fabric.close_actor_outputs(id, clock.now()).err();
     ControllerOutcome {
         actor,
         firings,
         routed,
-        error: result.err(),
+        error: result.err().or(close_error),
     }
 }
 

@@ -29,6 +29,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::channel::ChannelPolicy;
 use crate::director::threaded::ThreadedDirector;
 use crate::director::{Director, RunReport};
 use crate::error::Result;
@@ -163,6 +164,16 @@ impl Engine {
     /// observer plus the engine's own recorder.
     pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> RunHandle {
         self.extra_observers.push(observer);
+        self
+    }
+
+    /// Set the workflow-wide channel capacity policy (bounded queues with
+    /// backpressure). Ports given an explicit policy through
+    /// [`WorkflowBuilder::set_channel_policy`]
+    /// (crate::graph::WorkflowBuilder::set_channel_policy) keep their
+    /// override.
+    pub fn with_channel_policy(mut self, policy: ChannelPolicy) -> RunHandle {
+        self.workflow.set_default_channel_policy(policy);
         self
     }
 

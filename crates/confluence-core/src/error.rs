@@ -43,6 +43,13 @@ pub enum Error {
     Scheduler(String),
     /// Relational-store errors surfaced through actors.
     Store(String),
+    /// A bounded channel with [`crate::channel::OnFull::Error`] was full.
+    ChannelFull {
+        /// Destination input port index.
+        port: usize,
+        /// Effective capacity at the time of the overflow.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -65,6 +72,9 @@ impl fmt::Display for Error {
             Error::Director(m) => write!(f, "director error: {m}"),
             Error::Scheduler(m) => write!(f, "scheduler error: {m}"),
             Error::Store(m) => write!(f, "store error: {m}"),
+            Error::ChannelFull { port, capacity } => {
+                write!(f, "channel full: input port {port} at capacity {capacity}")
+            }
         }
     }
 }
@@ -115,6 +125,13 @@ mod tests {
             (Error::Director("d".into()), "director error: d"),
             (Error::Scheduler("s".into()), "scheduler error: s"),
             (Error::Store("s".into()), "store error: s"),
+            (
+                Error::ChannelFull {
+                    port: 1,
+                    capacity: 64,
+                },
+                "channel full: input port 1 at capacity 64",
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);

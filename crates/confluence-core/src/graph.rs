@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::actor::{Actor, IoSignature};
+use crate::channel::ChannelPolicy;
 use crate::error::{Error, Result};
 use crate::window::WindowSpec;
 
@@ -115,6 +116,11 @@ pub struct Workflow {
     /// For each (actor, input port): where that port's expired-items queue
     /// is delivered, if a handler activity was attached.
     expired_routes: Vec<Vec<Option<PortRef>>>,
+    /// Per-(actor, input port) channel policy overrides; `None` falls back
+    /// to the workflow-wide default.
+    channel_policies: Vec<Vec<Option<ChannelPolicy>>>,
+    /// Workflow-wide channel policy for ports without an override.
+    default_channel_policy: ChannelPolicy,
 }
 
 impl std::fmt::Debug for Workflow {
@@ -181,6 +187,29 @@ impl Workflow {
     /// Destination of one input port's expired-items queue, if any.
     pub fn expired_route(&self, actor: ActorId, in_port: usize) -> Option<PortRef> {
         self.expired_routes[actor.0][in_port]
+    }
+
+    /// Channel capacity policy in force on one input port (the per-port
+    /// override if set, the workflow default otherwise).
+    pub fn channel_policy(&self, actor: ActorId, in_port: usize) -> ChannelPolicy {
+        self.channel_policies[actor.0][in_port].unwrap_or(self.default_channel_policy)
+    }
+
+    /// The workflow-wide channel policy for ports without an override.
+    pub fn default_channel_policy(&self) -> ChannelPolicy {
+        self.default_channel_policy
+    }
+
+    /// Set the workflow-wide channel policy (ports with explicit overrides
+    /// keep them). Takes effect the next time a fabric is built, i.e. at
+    /// the next run.
+    pub fn set_default_channel_policy(&mut self, policy: ChannelPolicy) {
+        self.default_channel_policy = policy;
+    }
+
+    /// Override the channel policy on one input port.
+    pub fn set_channel_policy(&mut self, actor: ActorId, in_port: usize, policy: ChannelPolicy) {
+        self.channel_policies[actor.0][in_port] = Some(policy);
     }
 
     /// Whether any port routes its expired events to a handler.
@@ -287,6 +316,8 @@ pub struct WorkflowBuilder {
     channels: Vec<Channel>,
     input_windows: Vec<Vec<WindowSpec>>,
     expired_handlers: Vec<(ActorId, String, ActorId, String)>,
+    channel_policies: Vec<Vec<Option<ChannelPolicy>>>,
+    default_channel_policy: ChannelPolicy,
 }
 
 /// Selects a port on an actor, either by declared name or by positional
@@ -341,6 +372,8 @@ impl WorkflowBuilder {
             channels: Vec::new(),
             input_windows: Vec::new(),
             expired_handlers: Vec::new(),
+            channel_policies: Vec::new(),
+            default_channel_policy: ChannelPolicy::unbounded(),
         }
     }
 
@@ -358,6 +391,8 @@ impl WorkflowBuilder {
         let id = ActorId(self.nodes.len());
         self.input_windows
             .push(vec![WindowSpec::each_event(); signature.inputs.len()]);
+        self.channel_policies
+            .push(vec![None; signature.inputs.len()]);
         self.nodes.push(ActorNode {
             name: name.into(),
             actor: Some(actor),
@@ -470,6 +505,27 @@ impl WorkflowBuilder {
         self.nodes[actor.0].priority = priority;
     }
 
+    /// Attach a channel capacity policy to one input port (overrides the
+    /// workflow default set by
+    /// [`WorkflowBuilder::set_default_channel_policy`]).
+    pub fn set_channel_policy<'a>(
+        &mut self,
+        actor: ActorId,
+        port: impl Into<PortSel<'a>>,
+        policy: ChannelPolicy,
+    ) -> Result<()> {
+        let idx = self.resolve_input(actor, port.into())?;
+        self.channel_policies[actor.0][idx] = Some(policy);
+        Ok(())
+    }
+
+    /// Set the workflow-wide channel policy applied to every input port
+    /// without an explicit override. Defaults to
+    /// [`ChannelPolicy::unbounded`].
+    pub fn set_default_channel_policy(&mut self, policy: ChannelPolicy) {
+        self.default_channel_policy = policy;
+    }
+
     /// Attach a handler activity to an input port's expired-items queue
     /// (paper §2.1: "when events expire they are pushed to an expired
     /// items queue which are optionally handled by another workflow
@@ -573,6 +629,8 @@ impl WorkflowBuilder {
             routes,
             in_degree,
             expired_routes,
+            channel_policies: self.channel_policies,
+            default_channel_policy: self.default_channel_policy,
         })
     }
 }

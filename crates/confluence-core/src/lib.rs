@@ -24,6 +24,7 @@
 
 pub mod actor;
 pub mod actors;
+pub mod channel;
 pub mod director;
 pub mod engine;
 pub mod testing;
@@ -39,6 +40,7 @@ pub mod wave;
 pub mod window;
 
 pub use actor::{Actor, FireContext, IoSignature};
+pub use channel::{ChannelPolicy, OnFull};
 pub use engine::{Engine, RunHandle, StopCondition};
 pub use error::{Error, Result};
 pub use event::CwEvent;

@@ -13,13 +13,20 @@
 //! * [`ActorInbox`] — one per actor: the ready queue of `(port, Window)`
 //!   pairs. The thread-based director blocks on it; the STAFiLOS scheduled
 //!   director polls it and feeds its scheduler.
+//!
+//! Channels are *bounded* when a [`ChannelPolicy`] with a capacity is
+//! attached: capacity is counted in formed windows queued per port, and a
+//! full port either blocks the writer (PN semantics, orchestrated by the
+//! fabric), sheds, or errors — see [`crate::channel`].
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::error::Result;
+use crate::channel::{ChannelPolicy, OnFull};
+use crate::error::{Error, Result};
 use crate::event::CwEvent;
 use crate::time::Timestamp;
 use crate::window::{Window, WindowOperator, WindowSpec};
@@ -39,6 +46,18 @@ pub enum InboxPop {
 struct InboxState {
     windows: VecDeque<(usize, Window)>,
     open_ports: usize,
+    /// Formed windows currently queued, per input port (the occupancy that
+    /// bounded channel policies meter).
+    per_port: Vec<usize>,
+}
+
+impl InboxState {
+    fn depth_slot(&mut self, port: usize) -> &mut usize {
+        if port >= self.per_port.len() {
+            self.per_port.resize(port + 1, 0);
+        }
+        &mut self.per_port[port]
+    }
 }
 
 /// The per-actor ready queue of formed windows.
@@ -46,31 +65,57 @@ struct InboxState {
 pub struct ActorInbox {
     state: Mutex<InboxState>,
     cond: Condvar,
+    /// Writers blocked on a full port wait here; every pop (and every
+    /// drop-shed, close, or capacity growth) notifies it.
+    space: Condvar,
+    /// Shared fabric-wide progress counter, bumped on every push and pop.
+    /// The no-progress detector behind Parks-style deadlock relief reads it.
+    progress: Arc<AtomicU64>,
 }
 
 impl ActorInbox {
     /// An inbox fed by `input_ports` port receivers.
     pub fn new(input_ports: usize) -> Arc<Self> {
+        Self::new_shared(input_ports, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// An inbox wired to a fabric-wide progress counter.
+    pub fn new_shared(input_ports: usize, progress: Arc<AtomicU64>) -> Arc<Self> {
         Arc::new(ActorInbox {
             state: Mutex::new(InboxState {
                 windows: VecDeque::new(),
                 open_ports: input_ports,
+                per_port: vec![0; input_ports],
             }),
             cond: Condvar::new(),
+            space: Condvar::new(),
+            progress,
         })
     }
 
     /// Enqueue a formed window from input port `port`.
     pub fn push(&self, port: usize, window: Window) {
         let mut st = self.state.lock();
+        *st.depth_slot(port) += 1;
         st.windows.push_back((port, window));
         drop(st);
+        self.progress.fetch_add(1, Ordering::Relaxed);
         self.cond.notify_one();
     }
 
     /// Non-blocking pop (used by scheduled directors).
     pub fn try_pop(&self) -> Option<(usize, Window)> {
-        self.state.lock().windows.pop_front()
+        let mut st = self.state.lock();
+        let popped = st.windows.pop_front();
+        if let Some((port, _)) = &popped {
+            let port = *port;
+            let slot = st.depth_slot(port);
+            *slot = slot.saturating_sub(1);
+            drop(st);
+            self.progress.fetch_add(1, Ordering::Relaxed);
+            self.space.notify_all();
+        }
+        popped
     }
 
     /// Blocking pop with an optional wall-clock timeout (used by the
@@ -80,6 +125,11 @@ impl ActorInbox {
         let mut st = self.state.lock();
         loop {
             if let Some((port, w)) = st.windows.pop_front() {
+                let slot = st.depth_slot(port);
+                *slot = slot.saturating_sub(1);
+                drop(st);
+                self.progress.fetch_add(1, Ordering::Relaxed);
+                self.space.notify_all();
                 return InboxPop::Window(port, w);
             }
             if st.open_ports == 0 {
@@ -106,12 +156,59 @@ impl ActorInbox {
         self.len() == 0
     }
 
+    /// Formed windows currently queued for input `port`.
+    pub fn port_depth(&self, port: usize) -> usize {
+        let st = self.state.lock();
+        st.per_port.get(port).copied().unwrap_or(0)
+    }
+
+    /// Remove (shed) the oldest queued window belonging to `port`.
+    pub fn drop_oldest(&self, port: usize) -> Option<Window> {
+        let mut st = self.state.lock();
+        let pos = st.windows.iter().position(|(p, _)| *p == port)?;
+        let (_, w) = st.windows.remove(pos)?;
+        let slot = st.depth_slot(port);
+        *slot = slot.saturating_sub(1);
+        drop(st);
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        self.space.notify_all();
+        Some(w)
+    }
+
+    /// Wait until `port` has fewer than `capacity` queued windows, the
+    /// timeout passes, or the inbox owner goes away. Returns whether space
+    /// is available now.
+    pub fn wait_for_space(
+        &self,
+        port: usize,
+        capacity: usize,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            let depth = st.per_port.get(port).copied().unwrap_or(0);
+            if depth < capacity {
+                return true;
+            }
+            if self.space.wait_for(&mut st, timeout).timed_out() {
+                let depth = st.per_port.get(port).copied().unwrap_or(0);
+                return depth < capacity;
+            }
+        }
+    }
+
+    /// Wake writers blocked on a full port (used after capacity growth).
+    pub fn notify_space(&self) {
+        self.space.notify_all();
+    }
+
     /// Mark one feeding port as closed (its upstream actors all finished).
     pub fn close_port(&self) {
         let mut st = self.state.lock();
         st.open_ports = st.open_ports.saturating_sub(1);
         drop(st);
         self.cond.notify_all();
+        self.space.notify_all();
     }
 
     /// Whether every feeding port has closed (more windows may still be
@@ -119,6 +216,27 @@ impl ActorInbox {
     pub fn all_ports_closed(&self) -> bool {
         self.state.lock().open_ports == 0
     }
+}
+
+/// Outcome of a capacity-aware [`PortReceiver::try_put`].
+#[derive(Debug)]
+pub enum TryPut {
+    /// The event was admitted; this many windows were formed and forwarded
+    /// to the inbox.
+    Stored(usize),
+    /// The event was admitted by shedding: `dropped` previously-queued
+    /// events were discarded (0 when the *incoming* event was the one
+    /// dropped), and `windows` new windows formed.
+    Shed {
+        /// Events discarded to make room (or the incoming event itself
+        /// under [`OnFull::DropNewest`]).
+        dropped: u64,
+        /// Windows formed by the admitted event (0 under `DropNewest`).
+        windows: usize,
+    },
+    /// The port is at capacity under [`OnFull::Block`]; the event is
+    /// returned so the caller can wait for space and retry.
+    Full(CwEvent),
 }
 
 /// The Windowed Receiver on one input port.
@@ -129,12 +247,18 @@ pub struct PortReceiver {
     /// Channels still feeding this port; when the count reaches zero the
     /// receiver flushes and closes its inbox port.
     remaining_upstreams: Mutex<usize>,
+    /// Capacity bound and overflow behavior for this channel.
+    policy: ChannelPolicy,
+    /// Effective capacity: starts at the policy's bound and grows under
+    /// Parks-style artificial-deadlock relief. `usize::MAX` when unbounded.
+    effective_capacity: AtomicUsize,
 }
 
 impl std::fmt::Debug for PortReceiver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PortReceiver")
             .field("port", &self.port)
+            .field("policy", &self.policy)
             .finish()
     }
 }
@@ -148,11 +272,24 @@ impl PortReceiver {
         port: usize,
         upstreams: usize,
     ) -> Result<Self> {
+        Self::with_policy(spec, inbox, port, upstreams, ChannelPolicy::unbounded())
+    }
+
+    /// [`PortReceiver::new`] with an explicit channel capacity policy.
+    pub fn with_policy(
+        spec: WindowSpec,
+        inbox: Arc<ActorInbox>,
+        port: usize,
+        upstreams: usize,
+        policy: ChannelPolicy,
+    ) -> Result<Self> {
         Ok(PortReceiver {
             op: Mutex::new(WindowOperator::new(spec)?),
             inbox,
             port,
             remaining_upstreams: Mutex::new(upstreams),
+            policy,
+            effective_capacity: AtomicUsize::new(policy.capacity_or_max()),
         })
     }
 
@@ -161,11 +298,60 @@ impl PortReceiver {
         self.port
     }
 
+    /// The channel policy attached to this port.
+    pub fn policy(&self) -> &ChannelPolicy {
+        &self.policy
+    }
+
+    /// The inbox this receiver forwards to.
+    pub fn inbox(&self) -> &Arc<ActorInbox> {
+        &self.inbox
+    }
+
+    /// Current effective capacity (policy bound, possibly grown by
+    /// deadlock relief). `usize::MAX` when unbounded.
+    pub fn effective_capacity(&self) -> usize {
+        self.effective_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Whether the port is bounded and currently at (or over) capacity.
+    pub fn is_full(&self) -> bool {
+        self.policy.is_bounded() && self.inbox.port_depth(self.port) >= self.effective_capacity()
+    }
+
+    /// Grow the effective capacity by the policy's original bound
+    /// (artificial-deadlock relief). Returns the new capacity.
+    pub fn grow_capacity(&self) -> usize {
+        let step = self.policy.capacity_or_max().max(1);
+        let new = self
+            .effective_capacity
+            .fetch_add(step, Ordering::Relaxed)
+            .saturating_add(step);
+        self.inbox.notify_space();
+        new
+    }
+
     /// The paper's `put()`: encapsulated event goes into the appropriate
     /// group queue; within the same call window semantics are evaluated and
     /// any produced window is forwarded to the actor's ready queue.
     /// Returns the number of windows produced.
+    ///
+    /// This path never blocks and never sheds: a full [`OnFull::Block`] /
+    /// drop-policy port is admitted over capacity and [`OnFull::Error`]
+    /// fails. Capacity orchestration (waiting, shedding, relief) lives in
+    /// the fabric, which goes through [`PortReceiver::try_put`] first.
     pub fn put(&self, event: CwEvent, now: Timestamp) -> Result<usize> {
+        if self.policy.on_full == OnFull::Error && self.is_full() {
+            return Err(Error::ChannelFull {
+                port: self.port,
+                capacity: self.effective_capacity(),
+            });
+        }
+        self.put_unchecked(event, now)
+    }
+
+    /// Admit the event regardless of capacity.
+    fn put_unchecked(&self, event: CwEvent, now: Timestamp) -> Result<usize> {
         let mut op = self.op.lock();
         let n = op.push(event, now)?;
         for _ in 0..n {
@@ -173,6 +359,50 @@ impl PortReceiver {
             self.inbox.push(self.port, w);
         }
         Ok(n)
+    }
+
+    /// Capacity-aware put. On a full port, resolves according to the
+    /// channel policy:
+    ///
+    /// * [`OnFull::Block`] — returns [`TryPut::Full`] with the event handed
+    ///   back; the caller (fabric) waits for space and retries, or admits
+    ///   it anyway under cooperative directors;
+    /// * [`OnFull::DropOldest`] — sheds the oldest queued window on this
+    ///   port, then admits the event;
+    /// * [`OnFull::DropNewest`] — discards the incoming event;
+    /// * [`OnFull::Error`] — fails with [`Error::ChannelFull`].
+    pub fn try_put(&self, event: CwEvent, now: Timestamp) -> Result<TryPut> {
+        if !self.is_full() {
+            return Ok(TryPut::Stored(self.put_unchecked(event, now)?));
+        }
+        match self.policy.on_full {
+            OnFull::Block => Ok(TryPut::Full(event)),
+            OnFull::DropOldest => {
+                let dropped = self
+                    .inbox
+                    .drop_oldest(self.port)
+                    .map(|w| w.len() as u64)
+                    // Nothing queued to shed (capacity 0 edge): drop the
+                    // incoming event instead.
+                    .unwrap_or(0);
+                if dropped == 0 {
+                    return Ok(TryPut::Shed {
+                        dropped: 1,
+                        windows: 0,
+                    });
+                }
+                let windows = self.put_unchecked(event, now)?;
+                Ok(TryPut::Shed { dropped, windows })
+            }
+            OnFull::DropNewest => Ok(TryPut::Shed {
+                dropped: 1,
+                windows: 0,
+            }),
+            OnFull::Error => Err(Error::ChannelFull {
+                port: self.port,
+                capacity: self.effective_capacity(),
+            }),
+        }
     }
 
     /// Evaluate time-driven window production at director time `now`
@@ -205,10 +435,18 @@ impl PortReceiver {
     /// One upstream channel finished. When the last one does, remaining
     /// partial windows are flushed to the inbox and the inbox port closes.
     /// Returns `true` if this call fully closed the receiver.
+    ///
+    /// Idempotent past zero: a close on an already-closed receiver (e.g. a
+    /// double-close through the expired-queue cascade) is a no-op rather
+    /// than an underflow — `debug_assert!` alone would let the decrement
+    /// wrap in release builds.
     pub fn upstream_closed(&self, now: Timestamp) -> bool {
         let mut remaining = self.remaining_upstreams.lock();
         debug_assert!(*remaining > 0, "more closes than upstream channels");
-        *remaining -= 1;
+        if *remaining == 0 {
+            return false;
+        }
+        *remaining = remaining.saturating_sub(1);
         if *remaining > 0 {
             return false;
         }
@@ -277,6 +515,21 @@ mod tests {
     }
 
     #[test]
+    fn double_close_is_a_noop() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::new(WindowSpec::tuples(10, 10), inbox.clone(), 0, 1).unwrap();
+        assert!(r.upstream_closed(Timestamp(0)));
+        // A second close (release builds drop the debug_assert) must not
+        // wrap the upstream count back to usize::MAX.
+        #[cfg(not(debug_assertions))]
+        {
+            assert!(!r.upstream_closed(Timestamp(1)));
+            assert!(!r.upstream_closed(Timestamp(2)));
+        }
+        assert!(inbox.all_ports_closed());
+    }
+
+    #[test]
     fn blocking_pop_wakes_on_push() {
         let inbox = ActorInbox::new(1);
         let inbox2 = inbox.clone();
@@ -309,5 +562,166 @@ mod tests {
         let inbox = ActorInbox::new(1);
         inbox.close_port();
         assert_eq!(inbox.pop_blocking(None), InboxPop::Closed);
+    }
+
+    #[test]
+    fn inbox_tracks_per_port_depth() {
+        let inbox = ActorInbox::new(2);
+        let r0 = PortReceiver::new(WindowSpec::each_event(), inbox.clone(), 0, 1).unwrap();
+        let r1 = PortReceiver::new(WindowSpec::each_event(), inbox.clone(), 1, 1).unwrap();
+        r0.put(ev(1, 0), Timestamp(0)).unwrap();
+        r0.put(ev(2, 1), Timestamp(1)).unwrap();
+        r1.put(ev(3, 2), Timestamp(2)).unwrap();
+        assert_eq!(inbox.port_depth(0), 2);
+        assert_eq!(inbox.port_depth(1), 1);
+        inbox.try_pop().unwrap();
+        assert_eq!(inbox.port_depth(0), 1);
+        let shed = inbox.drop_oldest(1).expect("port 1 has a window");
+        assert_eq!(shed.len(), 1);
+        assert_eq!(inbox.port_depth(1), 0);
+        assert!(inbox.drop_oldest(1).is_none());
+    }
+
+    #[test]
+    fn try_put_blocks_at_capacity() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::with_policy(
+            WindowSpec::each_event(),
+            inbox.clone(),
+            0,
+            1,
+            ChannelPolicy::block(2),
+        )
+        .unwrap();
+        assert!(matches!(
+            r.try_put(ev(1, 0), Timestamp(0)).unwrap(),
+            TryPut::Stored(1)
+        ));
+        assert!(matches!(
+            r.try_put(ev(2, 1), Timestamp(1)).unwrap(),
+            TryPut::Stored(1)
+        ));
+        assert!(r.is_full());
+        match r.try_put(ev(3, 2), Timestamp(2)).unwrap() {
+            TryPut::Full(e) => assert_eq!(e.token, Token::Int(3)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        inbox.try_pop().unwrap();
+        assert!(!r.is_full());
+        assert!(matches!(
+            r.try_put(ev(3, 2), Timestamp(2)).unwrap(),
+            TryPut::Stored(1)
+        ));
+    }
+
+    #[test]
+    fn try_put_sheds_oldest() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::with_policy(
+            WindowSpec::each_event(),
+            inbox.clone(),
+            0,
+            1,
+            ChannelPolicy::drop_oldest(1),
+        )
+        .unwrap();
+        r.try_put(ev(1, 0), Timestamp(0)).unwrap();
+        match r.try_put(ev(2, 1), Timestamp(1)).unwrap() {
+            TryPut::Shed { dropped, windows } => {
+                assert_eq!(dropped, 1);
+                assert_eq!(windows, 1);
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        let (_, w) = inbox.try_pop().unwrap();
+        assert_eq!(w.events[0].token, Token::Int(2), "oldest was shed");
+    }
+
+    #[test]
+    fn try_put_drops_newest() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::with_policy(
+            WindowSpec::each_event(),
+            inbox.clone(),
+            0,
+            1,
+            ChannelPolicy::drop_newest(1),
+        )
+        .unwrap();
+        r.try_put(ev(1, 0), Timestamp(0)).unwrap();
+        match r.try_put(ev(2, 1), Timestamp(1)).unwrap() {
+            TryPut::Shed { dropped, windows } => {
+                assert_eq!(dropped, 1);
+                assert_eq!(windows, 0);
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        let (_, w) = inbox.try_pop().unwrap();
+        assert_eq!(w.events[0].token, Token::Int(1), "newest was dropped");
+        assert!(inbox.try_pop().is_none());
+    }
+
+    #[test]
+    fn try_put_errors_when_full() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::with_policy(
+            WindowSpec::each_event(),
+            inbox.clone(),
+            0,
+            1,
+            ChannelPolicy::error(1),
+        )
+        .unwrap();
+        r.try_put(ev(1, 0), Timestamp(0)).unwrap();
+        assert!(matches!(
+            r.try_put(ev(2, 1), Timestamp(1)),
+            Err(Error::ChannelFull { port: 0, capacity: 1 })
+        ));
+        assert!(matches!(
+            r.put(ev(2, 1), Timestamp(1)),
+            Err(Error::ChannelFull { .. })
+        ));
+    }
+
+    #[test]
+    fn grow_capacity_relieves_full_port() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::with_policy(
+            WindowSpec::each_event(),
+            inbox.clone(),
+            0,
+            1,
+            ChannelPolicy::block(1),
+        )
+        .unwrap();
+        r.try_put(ev(1, 0), Timestamp(0)).unwrap();
+        assert!(r.is_full());
+        assert_eq!(r.grow_capacity(), 2);
+        assert!(!r.is_full());
+        assert!(matches!(
+            r.try_put(ev(2, 1), Timestamp(1)).unwrap(),
+            TryPut::Stored(1)
+        ));
+    }
+
+    #[test]
+    fn wait_for_space_wakes_on_pop() {
+        let inbox = ActorInbox::new(1);
+        let r = PortReceiver::with_policy(
+            WindowSpec::each_event(),
+            inbox.clone(),
+            0,
+            1,
+            ChannelPolicy::block(1),
+        )
+        .unwrap();
+        r.try_put(ev(1, 0), Timestamp(0)).unwrap();
+        let inbox2 = inbox.clone();
+        let t = std::thread::spawn(move || {
+            inbox2.wait_for_space(0, 1, std::time::Duration::from_secs(5))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        inbox.try_pop().unwrap();
+        assert!(t.join().unwrap(), "waiter saw the freed slot");
     }
 }

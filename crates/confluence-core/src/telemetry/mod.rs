@@ -115,6 +115,20 @@ pub trait Observer: Send + Sync {
     fn on_expire(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
         let _ = (actor, port, events, at);
     }
+
+    /// A writer hit `actor`'s full input `port` under a `Block` channel
+    /// policy and spent `waited` blocked before the event was admitted
+    /// (zero under cooperative directors, which admit over capacity
+    /// instead of blocking).
+    fn on_block(&self, actor: ActorId, port: usize, waited: Micros, at: Timestamp) {
+        let _ = (actor, port, waited, at);
+    }
+
+    /// `events` were shed at `actor`'s full input `port` under a drop
+    /// channel policy.
+    fn on_shed(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
+        let _ = (actor, port, events, at);
+    }
 }
 
 /// Fans hooks out to several observers in registration order.
@@ -164,6 +178,16 @@ impl Observer for MultiObserver {
     fn on_expire(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
         for o in &self.observers {
             o.on_expire(actor, port, events, at);
+        }
+    }
+    fn on_block(&self, actor: ActorId, port: usize, waited: Micros, at: Timestamp) {
+        for o in &self.observers {
+            o.on_block(actor, port, waited, at);
+        }
+    }
+    fn on_shed(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
+        for o in &self.observers {
+            o.on_shed(actor, port, events, at);
         }
     }
 }
@@ -251,6 +275,8 @@ mod tests {
         multi.on_route(ActorId(0), 3, Timestamp(1));
         multi.on_window_close(ActorId(0), 0, 1, 2, Timestamp(1));
         multi.on_expire(ActorId(0), 0, 4, Timestamp(1));
+        multi.on_block(ActorId(0), 0, Micros(7), Timestamp(1));
+        multi.on_shed(ActorId(0), 0, 2, Timestamp(1));
         multi.on_fire_end(&FireRecord {
             actor: ActorId(0),
             started: Timestamp::ZERO,

@@ -128,6 +128,9 @@ struct ActorCell {
     windows_closed: AtomicU64,
     queue_high_water: AtomicU64,
     events_expired: AtomicU64,
+    blocks: AtomicU64,
+    block_micros: AtomicU64,
+    events_shed: AtomicU64,
 }
 
 /// Metrics for one actor in a [`MetricsSnapshot`].
@@ -151,6 +154,13 @@ pub struct ActorMetrics {
     pub queue_high_water: u64,
     /// Events expired out of the actor's windows.
     pub events_expired: u64,
+    /// Writers that hit this actor's full input ports under a `Block`
+    /// channel policy (backpressure events).
+    pub blocks: u64,
+    /// Total time writers spent blocked on this actor's full ports.
+    pub block_time: Micros,
+    /// Events shed at this actor's full input ports under drop policies.
+    pub events_shed: u64,
 }
 
 /// Atomics-only [`Observer`] that aggregates the hook stream into
@@ -234,6 +244,9 @@ impl MetricsRecorder {
                 windows_closed: c.windows_closed.load(Ordering::Relaxed),
                 queue_high_water: c.queue_high_water.load(Ordering::Relaxed),
                 events_expired: c.events_expired.load(Ordering::Relaxed),
+                blocks: c.blocks.load(Ordering::Relaxed),
+                block_time: Micros(c.block_micros.load(Ordering::Relaxed)),
+                events_shed: c.events_shed.load(Ordering::Relaxed),
             })
             .collect();
         MetricsSnapshot {
@@ -301,6 +314,20 @@ impl Observer for MetricsRecorder {
             cell.events_expired.fetch_add(events, Ordering::Relaxed);
         }
     }
+
+    fn on_block(&self, actor: ActorId, _port: usize, waited: Micros, _at: Timestamp) {
+        if let Some(cell) = self.cell(actor) {
+            cell.blocks.fetch_add(1, Ordering::Relaxed);
+            cell.block_micros
+                .fetch_add(waited.as_micros(), Ordering::Relaxed);
+        }
+    }
+
+    fn on_shed(&self, actor: ActorId, _port: usize, events: u64, _at: Timestamp) {
+        if let Some(cell) = self.cell(actor) {
+            cell.events_shed.fetch_add(events, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Point-in-time view over a [`MetricsRecorder`].
@@ -326,6 +353,30 @@ impl MetricsSnapshot {
     /// Metrics for the actor named `name`, if present.
     pub fn actor(&self, name: &str) -> Option<&ActorMetrics> {
         self.actors.iter().find(|a| a.name == name)
+    }
+
+    /// Total backpressure blocks across all actors.
+    pub fn total_blocks(&self) -> u64 {
+        self.actors.iter().map(|a| a.blocks).sum()
+    }
+
+    /// Total time writers spent blocked, across all actors.
+    pub fn total_block_time(&self) -> Micros {
+        Micros(self.actors.iter().map(|a| a.block_time.as_micros()).sum())
+    }
+
+    /// Total events shed by drop channel policies across all actors.
+    pub fn total_shed(&self) -> u64 {
+        self.actors.iter().map(|a| a.events_shed).sum()
+    }
+
+    /// Highest observed inbox depth across all actors.
+    pub fn max_queue_high_water(&self) -> u64 {
+        self.actors
+            .iter()
+            .map(|a| a.queue_high_water)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Serialize as a self-contained JSON document (no external deps).
@@ -363,6 +414,12 @@ impl MetricsSnapshot {
             push_kv_u64(&mut out, "queue_high_water", a.queue_high_water);
             out.push(',');
             push_kv_u64(&mut out, "events_expired", a.events_expired);
+            out.push(',');
+            push_kv_u64(&mut out, "blocks", a.blocks);
+            out.push(',');
+            push_kv_u64(&mut out, "block_us", a.block_time.as_micros());
+            out.push(',');
+            push_kv_u64(&mut out, "events_shed", a.events_shed);
             out.push('}');
         }
         out.push_str("],\"latency\":{");
@@ -392,7 +449,7 @@ impl MetricsSnapshot {
             "Highest observed inbox depth per actor",
             |a| a.queue_high_water,
         )];
-        let counters: [MetricCol; 7] = [
+        let counters: [MetricCol; 10] = [
             (
                 "confluence_actor_fires_total",
                 "Successful firings per actor",
@@ -427,6 +484,21 @@ impl MetricsSnapshot {
                 "confluence_actor_events_expired_total",
                 "Events expired out of windows per actor",
                 |a| a.events_expired,
+            ),
+            (
+                "confluence_actor_blocks_total",
+                "Backpressure blocks on the actor's full input ports",
+                |a| a.blocks,
+            ),
+            (
+                "confluence_actor_block_microseconds_total",
+                "Time writers spent blocked on the actor's full input ports",
+                |a| a.block_time.as_micros(),
+            ),
+            (
+                "confluence_actor_events_shed_total",
+                "Events shed at the actor's full input ports by drop policies",
+                |a| a.events_shed,
             ),
         ];
         for (name, help, get) in counters {
@@ -498,12 +570,12 @@ impl MetricsSnapshot {
             .unwrap_or(5);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>9}  {:>7}\n",
-            "actor", "fires", "busy_us", "events_in", "tokens_out", "windows", "queue_max", "expired"
+            "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>9}  {:>7}  {:>7}  {:>7}\n",
+            "actor", "fires", "busy_us", "events_in", "tokens_out", "windows", "queue_max", "expired", "blocks", "shed"
         ));
         for a in &self.actors {
             out.push_str(&format!(
-                "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>9}  {:>7}\n",
+                "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>9}  {:>7}  {:>7}  {:>7}\n",
                 a.name,
                 a.fires,
                 a.busy.as_micros(),
@@ -511,7 +583,9 @@ impl MetricsSnapshot {
                 a.tokens_out,
                 a.windows_closed,
                 a.queue_high_water,
-                a.events_expired
+                a.events_expired,
+                a.blocks,
+                a.events_shed
             ));
         }
         out.push_str(&format!(
@@ -686,6 +760,31 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn recorder_aggregates_backpressure_hooks() {
+        let r = recorder2();
+        r.on_block(ActorId(1), 0, Micros(200), Timestamp(5));
+        r.on_block(ActorId(1), 0, Micros(300), Timestamp(6));
+        r.on_shed(ActorId(1), 0, 4, Timestamp(7));
+        let s = r.snapshot();
+        let sink = s.actor("sink").unwrap();
+        assert_eq!(sink.blocks, 2);
+        assert_eq!(sink.block_time, Micros(500));
+        assert_eq!(sink.events_shed, 4);
+        assert_eq!(s.total_blocks(), 2);
+        assert_eq!(s.total_block_time(), Micros(500));
+        assert_eq!(s.total_shed(), 4);
+        let json = s.to_json();
+        assert!(json.contains("\"blocks\":2"));
+        assert!(json.contains("\"block_us\":500"));
+        assert!(json.contains("\"events_shed\":4"));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("confluence_actor_blocks_total{actor=\"sink\"} 2"));
+        assert!(prom.contains("confluence_actor_block_microseconds_total{actor=\"sink\"} 500"));
+        assert!(prom.contains("confluence_actor_events_shed_total{actor=\"sink\"} 4"));
+        assert!(prom.contains("confluence_actor_queue_high_water{actor=\"sink\"} 0"));
     }
 
     #[test]

@@ -343,7 +343,7 @@ impl ScwfCore {
                     t.observer.on_run_phase(RunPhase::Close, now);
                 }
                 for id in st.topo.clone() {
-                    st.fabric.close_actor_outputs(id, now);
+                    st.fabric.close_actor_outputs(id, now)?;
                 }
                 self.sync_external(workflow);
                 continue;

@@ -47,6 +47,7 @@ pub use confluence_core::telemetry::{
 pub mod prelude {
     pub use confluence_core::actor::{Actor, FireContext, IoSignature};
     pub use confluence_core::actors::*;
+    pub use confluence_core::channel::{ChannelPolicy, OnFull};
     pub use confluence_core::director::ddf::DdfDirector;
     pub use confluence_core::director::de::DeDirector;
     pub use confluence_core::director::sdf::SdfDirector;
