@@ -10,9 +10,16 @@
 //! workload with proportionally inflated costs (same crossover shape,
 //! ~1/4 the events). `--csv DIR` additionally writes each figure's data
 //! as a CSV file under DIR (plot-ready artifacts).
+//!
+//! `--fig5 --director pool[:N]` (or `--director threaded`) switches the
+//! figure-5 run from the virtual-time scheduler comparison to a
+//! wall-clock head-to-head of the PN executors: the selected executor
+//! runs the fig5 workload in real time (timetable compressed 100×) next
+//! to the thread-per-actor baseline, printing firing/routing/latency
+//! numbers side by side.
 
 use confluence_bench::config::ExperimentConfig;
-use confluence_bench::runner::{run_linear_road, PolicyKind};
+use confluence_bench::runner::{run_linear_road, run_linear_road_realtime, PolicyKind};
 use confluence_bench::{extensions, figures};
 use confluence_core::director::taxonomy;
 use confluence_linearroad::Workload;
@@ -51,6 +58,15 @@ fn main() {
     }
     if all || has("--table3") {
         println!("{}", config.render_table3());
+    }
+    let director_mode: Option<String> = args
+        .iter()
+        .position(|a| a == "--director")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if has("--fig5") && director_mode.is_some() {
+        run_fig5_head_to_head(&config, director_mode.as_deref().unwrap());
+        return;
     }
     if all || has("--fig5") {
         let series = figures::fig5_workload(&config);
@@ -121,6 +137,50 @@ fn main() {
     }
     if all || has("--stats") {
         println!("{}", extensions::actor_stats_experiment(&config));
+    }
+}
+
+/// `--fig5 --director <pool[:N]|threaded>`: wall-clock Linear Road over
+/// the fig5 workload, selected executor vs. the threaded baseline.
+fn run_fig5_head_to_head(config: &ExperimentConfig, mode: &str) {
+    // Compress the timetable so the 600 s trace replays in seconds of
+    // wall time; both executors see the identical workflow.
+    const SPEEDUP: u64 = 100;
+    let workload = Workload::generate(config.workload());
+    let pool_workers = match mode.split_once(':') {
+        Some(("pool", n)) => Some(n.parse().expect("worker count after pool:")),
+        None if mode == "pool" => Some(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        ),
+        None if mode == "threaded" => None,
+        _ => panic!("unknown --director mode {mode:?} (expected pool[:N] or threaded)"),
+    };
+    println!(
+        "Figure 5 workload, wall-clock head-to-head (timetable compressed {SPEEDUP}x)\n"
+    );
+    let baseline = run_linear_road_realtime(None, &workload, SPEEDUP);
+    let runs = match pool_workers {
+        Some(n) => vec![baseline, run_linear_road_realtime(Some(n), &workload, SPEEDUP)],
+        None => vec![baseline],
+    };
+    println!(
+        "{:<12}  {:>10}  {:>12}  {:>8}  {:>12}",
+        "executor", "firings", "routed", "tolls", "elapsed_us"
+    );
+    for run in &runs {
+        println!(
+            "{:<12}  {:>10}  {:>12}  {:>8}  {:>12}",
+            run.label,
+            run.firings,
+            run.events_routed,
+            run.toll_count,
+            run.elapsed.as_micros()
+        );
+    }
+    for run in &runs {
+        println!("\nPer-actor metrics ({}):\n\n{}", run.label, run.metrics.render_table());
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use confluence_core::director::pool::PoolDirector;
+use confluence_core::director::threaded::ThreadedDirector;
 use confluence_core::director::Director;
 use confluence_core::telemetry::{MetricsRecorder, MetricsSnapshot, Telemetry};
 use confluence_core::time::{Micros, Timestamp};
@@ -132,6 +134,7 @@ pub fn run_linear_road_with(
         &LrOptions {
             composite_subworkflows: !options.flat_subworkflows,
             shed_target: options.shed_target,
+            arrival_speedup: 1,
         },
     )
     .expect("workflow builds");
@@ -188,6 +191,60 @@ pub fn run_linear_road_with(
         channel_shed: metrics.total_shed(),
         queue_high_water: metrics.max_queue_high_water(),
         metrics,
+    }
+}
+
+/// Results of one wall-clock Linear Road run under a PN executor
+/// (threaded or pooled) — the head-to-head `--fig5 --director` mode.
+pub struct RealtimeRun {
+    /// Executor label (`threaded` or `pool-N`).
+    pub label: String,
+    /// Total successful firings.
+    pub firings: u64,
+    /// Total channel deliveries.
+    pub events_routed: u64,
+    /// Toll notifications produced.
+    pub toll_count: usize,
+    /// Wall-clock run time.
+    pub elapsed: Micros,
+    /// Per-actor (and, for the pool, per-worker) metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Run Linear Road in real time under the thread-per-actor executor
+/// (`pool_workers = None`) or the pooled work-stealing executor
+/// (`Some(n)`), with the workload timetable compressed by
+/// `arrival_speedup`.
+pub fn run_linear_road_realtime(
+    pool_workers: Option<usize>,
+    workload: &Workload,
+    arrival_speedup: u64,
+) -> RealtimeRun {
+    let mut lr = build(
+        workload,
+        &LrOptions {
+            arrival_speedup,
+            ..LrOptions::default()
+        },
+    )
+    .expect("workflow builds");
+    let (label, mut director): (String, Box<dyn Director>) = match pool_workers {
+        None => ("threaded".to_string(), Box::new(ThreadedDirector::new())),
+        Some(n) => (
+            format!("pool-{n}"),
+            Box::new(PoolDirector::new().with_workers(n)),
+        ),
+    };
+    let recorder = Arc::new(MetricsRecorder::for_workflow(&lr.workflow));
+    director.instrument(Telemetry::new(recorder.clone()));
+    let report = director.run(&mut lr.workflow).expect("run succeeds");
+    RealtimeRun {
+        label,
+        firings: report.firings,
+        events_routed: report.events_routed,
+        toll_count: lr.toll_output.len(),
+        elapsed: report.elapsed,
+        metrics: recorder.snapshot(),
     }
 }
 

@@ -22,6 +22,7 @@
 pub mod composite;
 pub mod ddf;
 pub mod de;
+pub mod pool;
 pub mod sdf;
 pub mod taxonomy;
 pub mod threaded;
@@ -36,7 +37,7 @@ use parking_lot::Mutex;
 use crate::actor::FireContext;
 use crate::channel::OnFull;
 use crate::error::Result;
-use crate::event::{CwEvent, WaveStamper};
+use crate::event::CwEvent;
 use crate::graph::{ActorId, PortRef, Workflow};
 use crate::receiver::{ActorInbox, PortReceiver, TryPut};
 use crate::telemetry::{Observer, Telemetry};
@@ -62,6 +63,17 @@ pub struct RunReport {
     pub events_routed: u64,
     /// Wall or virtual time the run spanned.
     pub elapsed: Micros,
+}
+
+/// Outcome of a non-blocking [`Fabric::try_deliver`].
+#[derive(Debug)]
+pub enum TryDeliver {
+    /// The event was admitted (stored or resolved by a drop policy); this
+    /// many windows were formed.
+    Delivered(usize),
+    /// The destination is a full `Block` port; the event is handed back so
+    /// the producing task can park and retry on space.
+    Full(CwEvent),
 }
 
 /// A model of computation executing a workflow to completion.
@@ -296,8 +308,10 @@ impl Fabric {
 
     /// Parks-style artificial-deadlock relief: grow the smallest full
     /// bounded `Block` queue so one writer can proceed. Serialized so
-    /// concurrently stalled writers grow one queue per detection.
-    fn relieve_deadlock(&self) {
+    /// concurrently stalled writers grow one queue per detection. Public
+    /// so task-parking executors (the pool director) can trigger relief
+    /// from their own stall detector.
+    pub fn relieve_deadlock(&self) {
         let _guard = self.relief_lock.lock();
         let smallest = self
             .receivers
@@ -366,23 +380,54 @@ impl Fabric {
         if emissions.is_empty() {
             return Ok(0);
         }
-        let events: Vec<(usize, CwEvent)> = match parent {
-            None => emissions
-                .into_iter()
-                .map(|(port, token)| (port, CwEvent::external(token, now)))
-                .collect(),
-            Some(parent) => {
-                let ports: Vec<usize> = emissions.iter().map(|(p, _)| *p).collect();
-                let tokens: Vec<Token> = emissions.into_iter().map(|(_, t)| t).collect();
-                let stamped = WaveStamper::new(parent.clone()).stamp_all(tokens, now);
-                ports.into_iter().zip(stamped).collect()
-            }
-        };
+        // Stamp and group in a single pass: wave serial numbers are
+        // assigned per emission (unrouted emissions still consume an
+        // index, matching the per-event stamper), and deliveries are
+        // batched by destination port so each inbox lock is taken once
+        // per firing instead of once per event.
+        let n = emissions.len();
+        let out_routes = &self.routes[from.0];
+        let mut batches: Vec<(PortRef, Vec<CwEvent>)> = Vec::new();
         let mut delivered = 0u64;
-        for (port, event) in events {
-            for dest in &self.routes[from.0][port] {
-                self.put_event(*dest, event.clone(), now)?;
-                delivered += 1;
+        for (i, (port, token)) in emissions.into_iter().enumerate() {
+            let dests = &out_routes[port];
+            if dests.is_empty() {
+                continue;
+            }
+            let event = match parent {
+                None => CwEvent::external(token, now),
+                Some(parent) => CwEvent::derived(token, now, parent, (i + 1) as u32, i + 1 == n),
+            };
+            delivered += dests.len() as u64;
+            let (last, fanned) = dests.split_last().expect("dests is non-empty");
+            let mut stash = |dest: &PortRef, ev: CwEvent| match batches
+                .iter_mut()
+                .find(|(p, _)| p == dest)
+            {
+                Some((_, evs)) => evs.push(ev),
+                None => batches.push((*dest, vec![ev])),
+            };
+            for dest in fanned {
+                stash(dest, event.clone());
+            }
+            stash(last, event);
+        }
+        if delivered == 0 {
+            // A firing whose emissions all hit unrouted ports produced no
+            // deliveries: skip the observer callback and bookkeeping.
+            return Ok(0);
+        }
+        for (dest, events) in batches {
+            let receiver = &self.receivers[dest.actor.0][dest.port];
+            if receiver.policy().is_bounded() {
+                // Bounded ports keep the event-at-a-time admission path:
+                // blocking, shedding, and relief are per-event decisions.
+                for event in events {
+                    self.put_event(dest, event, now)?;
+                }
+            } else {
+                let formed = receiver.put_batch(events, now)?;
+                self.note_windows(dest, formed, now);
             }
         }
         if let Some(obs) = &self.observer {
@@ -397,6 +442,51 @@ impl Fabric {
     /// through [`Fabric::route`].
     pub fn deliver(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<usize> {
         self.put_event(dest, event, now)
+    }
+
+    /// Non-blocking admission for task-parking executors: like
+    /// [`Fabric::deliver`], but a full [`OnFull::Block`] port hands the
+    /// event back as [`TryDeliver::Full`] instead of parking the calling
+    /// thread — the caller re-enqueues the producing *task* and retries
+    /// when space frees up. Drop and error policies resolve exactly as in
+    /// the blocking path.
+    pub fn try_deliver(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<TryDeliver> {
+        let receiver = &self.receivers[dest.actor.0][dest.port];
+        match receiver.try_put(event, now)? {
+            TryPut::Stored(formed) => {
+                self.note_windows(dest, formed, now);
+                Ok(TryDeliver::Delivered(formed))
+            }
+            TryPut::Shed { dropped, windows } => {
+                if let Some(obs) = &self.observer {
+                    obs.on_shed(dest.actor, dest.port, dropped, now);
+                }
+                self.note_windows(dest, windows, now);
+                Ok(TryDeliver::Delivered(windows))
+            }
+            TryPut::Full(ev) => Ok(TryDeliver::Full(ev)),
+        }
+    }
+
+    /// Current value of the fabric-wide progress counter (bumped on every
+    /// inbox push and pop). Stall detectors watch it to recognize
+    /// artificial deadlock.
+    pub fn progress_counter(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// The destination ports wired to output `port` of actor `from`.
+    pub fn route_targets(&self, from: ActorId, port: usize) -> &[PortRef] {
+        &self.routes[from.0][port]
+    }
+
+    /// Whether any input port in the fabric is bounded with
+    /// [`OnFull::Block`] (writers may have to wait for space).
+    pub fn has_block_ports(&self) -> bool {
+        self.receivers
+            .iter()
+            .flatten()
+            .any(|r| r.policy().is_bounded() && r.policy().on_full == OnFull::Block)
     }
 
     /// Evaluate window timeouts on one actor's receivers at director time

@@ -1,0 +1,1103 @@
+//! The pooled work-stealing continuous-workflow executor.
+//!
+//! The paper's PNCWF director inherits Kepler's thread-per-actor model,
+//! which leaves scheduling entirely to the operating system and
+//! oversubscribes cores as soon as the actor count exceeds the machine
+//! (the Linear Road hierarchy alone instantiates over a dozen actors).
+//! [`PoolDirector`] keeps the same continuous-workflow semantics but runs
+//! every actor as a *task* over a fixed pool of N worker threads:
+//!
+//! * each worker owns a ready deque and steals from the back of other
+//!   workers' deques when its own runs dry;
+//! * an actor becomes ready when a window forms on one of its receivers —
+//!   the inbox raises an [`InboxWaker`] callback instead of waking a
+//!   parked actor thread;
+//! * timed-window deadlines are served by one shared timer thread over a
+//!   deadline heap, not per-actor condvar waits;
+//! * `Block` backpressure parks the *task*: a full port hands the event
+//!   back ([`Fabric::try_deliver`]), the producing task is re-enqueued
+//!   when the destination inbox frees space, and the artificial-deadlock
+//!   detector (Parks) runs on the timer thread.
+//!
+//! The run spawns exactly N worker threads plus the timer thread,
+//! independent of the actor count.
+
+use std::cell::Cell;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::actor::Actor;
+use crate::channel::OnFull;
+use crate::error::{Error, Result};
+use crate::event::CwEvent;
+use crate::graph::{ActorId, PortRef, Workflow};
+use crate::receiver::InboxWaker;
+use crate::telemetry::{FireRecord, RunPhase, Telemetry, WorkerMetrics};
+use crate::time::{Micros, SharedClock, Timestamp, WallClock};
+use crate::wave::WaveTag;
+
+use super::{Director, Fabric, QueueContext, RunReport, TryDeliver, RELIEF_PATIENCE};
+
+/// Idle workers and the timer re-check their wait conditions at least this
+/// often (bounds missed-notify latency and cooperative-stop latency).
+const POOL_POLL: Duration = Duration::from_millis(10);
+
+/// Idle-source backoff matching the threaded director's 1 ms sleep.
+const SOURCE_BACKOFF: Micros = Micros(1_000);
+
+// Per-actor readiness states (one atomic per actor).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RERUN: u8 = 3;
+
+thread_local! {
+    /// Index of the pool worker running on this thread (`usize::MAX` off
+    /// the pool). Pushes from a worker go to its own deque; pushes from
+    /// anywhere else round-robin across the deques.
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// N workers over per-worker ready deques with stealing; one timer thread.
+pub struct PoolDirector {
+    workers: usize,
+    clock: SharedClock,
+    telemetry: Option<Telemetry>,
+}
+
+impl Default for PoolDirector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PoolDirector {
+    /// A pool sized to the machine (`available_parallelism`), on the wall
+    /// clock.
+    pub fn new() -> Self {
+        let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        PoolDirector {
+            workers,
+            clock: Arc::new(WallClock::new()),
+            telemetry: None,
+        }
+    }
+
+    /// Override the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// A pool on a caller-supplied clock (tests).
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+}
+
+/// Scheduling state shared by wakers, workers, and the timer: everything
+/// needed to decide *who runs next*, with no reference to the actors
+/// themselves (so inbox wakers can hold it without keeping the run alive).
+struct WakeHub {
+    /// One ready deque per worker.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Per-actor readiness state machine (IDLE/QUEUED/RUNNING/RERUN).
+    states: Vec<AtomicU8>,
+    /// Per-destination-actor list of writer tasks parked on a full port.
+    space_waiters: Vec<Mutex<Vec<usize>>>,
+    /// Parked writer registrations outstanding (relief trigger gate).
+    waiting_writers: AtomicUsize,
+    /// Round-robin cursor for pushes from off-pool threads.
+    next_queue: AtomicUsize,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    /// Pending timed-window / source-arrival deadlines: (µs, actor).
+    timer: Mutex<BinaryHeap<std::cmp::Reverse<(u64, usize)>>>,
+    timer_lock: Mutex<()>,
+    timer_cond: Condvar,
+    // Per-worker counters for WorkerMetrics.
+    fires: Vec<AtomicU64>,
+    steals: Vec<AtomicU64>,
+    queue_max: Vec<AtomicU64>,
+}
+
+impl WakeHub {
+    fn new(actors: usize, workers: usize) -> Self {
+        WakeHub {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            states: (0..actors).map(|_| AtomicU8::new(IDLE)).collect(),
+            space_waiters: (0..actors).map(|_| Mutex::new(Vec::new())).collect(),
+            waiting_writers: AtomicUsize::new(0),
+            next_queue: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            timer: Mutex::new(BinaryHeap::new()),
+            timer_lock: Mutex::new(()),
+            timer_cond: Condvar::new(),
+            fires: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            queue_max: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Mark `actor` ready, enqueueing it unless it is already queued (or
+    /// running, in which case it is flagged for a re-run).
+    fn schedule(&self, actor: usize) {
+        let st = &self.states[actor];
+        loop {
+            match st.compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.push(actor);
+                    return;
+                }
+                Err(QUEUED) | Err(RERUN) => return,
+                Err(_running) => {
+                    if st
+                        .compare_exchange(RUNNING, RERUN, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                    // The runner moved on between our two CASes; retry.
+                }
+            }
+        }
+    }
+
+    fn push(&self, actor: usize) {
+        let w = WORKER_ID.with(|c| c.get());
+        let idx = if w < self.queues.len() {
+            w
+        } else {
+            self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len()
+        };
+        let depth = {
+            let mut q = self.queues[idx].lock();
+            q.push_back(actor);
+            q.len() as u64
+        };
+        self.queue_max[idx].fetch_max(depth, Ordering::Relaxed);
+        self.idle_cond.notify_one();
+    }
+
+    /// Pop ready work for worker `w`: own deque front first, then steal
+    /// from the back of the others. Returns `(actor, stolen)`.
+    fn pop(&self, w: usize) -> Option<(usize, bool)> {
+        if let Some(a) = self.queues[w].lock().pop_front() {
+            return Some((a, false));
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (w + i) % n;
+            if let Some(a) = self.queues[victim].lock().pop_back() {
+                return Some((a, true));
+            }
+        }
+        None
+    }
+
+    fn wait_for_work(&self) {
+        let mut g = self.idle_lock.lock();
+        self.idle_cond.wait_for(&mut g, POOL_POLL);
+    }
+
+    /// Park `writer` until `dest_actor`'s inbox frees space.
+    fn add_space_waiter(&self, dest_actor: usize, writer: usize) {
+        let mut ws = self.space_waiters[dest_actor].lock();
+        if !ws.contains(&writer) {
+            ws.push(writer);
+            self.waiting_writers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Space freed on `dest_actor`'s inbox: reschedule its parked writers.
+    fn notify_space(&self, dest_actor: usize) {
+        if self.waiting_writers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let woken = std::mem::take(&mut *self.space_waiters[dest_actor].lock());
+        if woken.is_empty() {
+            return;
+        }
+        self.waiting_writers.fetch_sub(woken.len(), Ordering::Relaxed);
+        for writer in woken {
+            self.schedule(writer);
+        }
+    }
+
+    fn register_deadline(&self, at: Timestamp, actor: usize) {
+        self.timer
+            .lock()
+            .push(std::cmp::Reverse((at.as_micros(), actor)));
+        self.timer_cond.notify_all();
+    }
+
+    fn timer_wait(&self, d: Duration) {
+        let mut g = self.timer_lock.lock();
+        self.timer_cond.wait_for(&mut g, d);
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.idle_cond.notify_all();
+        self.timer_cond.notify_all();
+    }
+}
+
+/// Inbox hook: window formation schedules the owning actor; freed space
+/// reschedules writers parked on it.
+struct PoolWaker {
+    hub: Arc<WakeHub>,
+    actor: usize,
+}
+
+impl InboxWaker for PoolWaker {
+    fn on_ready(&self) {
+        self.hub.schedule(self.actor);
+    }
+    fn on_space(&self) {
+        self.hub.notify_space(self.actor);
+    }
+}
+
+/// One actor's task: the actor itself plus the firing state that survives
+/// across task suspensions (parked deliveries, deferred postfire).
+struct TaskState {
+    actor: Box<dyn Actor>,
+    ctx: QueueContext,
+    id: ActorId,
+    is_source: bool,
+    finalized: bool,
+    /// Stamped events not yet admitted (the tail of a firing whose
+    /// delivery parked on a full `Block` port).
+    pending_out: VecDeque<(PortRef, CwEvent)>,
+    /// When the task first parked on the event at the head of
+    /// `pending_out` (block-time telemetry).
+    block_since: Option<Instant>,
+    /// A firing completed but its `postfire` was deferred past a parked
+    /// delivery.
+    needs_postfire: bool,
+}
+
+enum StepOutcome {
+    /// More work may be immediately available: run again.
+    Requeue,
+    /// Nothing to do until a wakeup (window, space, or deadline).
+    Idle,
+    /// Parked on a full `Block` port; a space waiter is registered.
+    Parked,
+    /// The actor is done: wrap up and close outputs.
+    Finish,
+}
+
+struct PoolShared {
+    hub: Arc<WakeHub>,
+    fabric: Arc<Fabric>,
+    clock: SharedClock,
+    tele: Option<Telemetry>,
+    tasks: Vec<Mutex<TaskState>>,
+    is_source: Vec<bool>,
+    /// Whether any port needs the task-parking delivery path.
+    has_block_ports: bool,
+    live: AtomicUsize,
+    firings: AtomicU64,
+    routed: AtomicU64,
+    first_error: Mutex<Option<Error>>,
+}
+
+impl PoolShared {
+    fn record_error(&self, e: Error) {
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.tele.as_ref().is_some_and(|t| t.should_stop())
+    }
+}
+
+impl Director for PoolDirector {
+    fn run(&mut self, workflow: &mut Workflow) -> Result<RunReport> {
+        let observer = self.telemetry.as_ref().map(|t| t.observer.clone());
+        let fabric = Arc::new(Fabric::build_observed(workflow, observer)?);
+        // Task-parking semantics: a full Block port hands the event back
+        // (try_deliver) instead of blocking an OS thread, so the fabric's
+        // own thread-blocking path stays off.
+        fabric.set_blocking(false);
+        let n_actors = workflow.actor_count();
+        let workers = self.workers.max(1);
+        let hub = Arc::new(WakeHub::new(n_actors, workers));
+        for id in workflow.actor_ids() {
+            fabric.inbox(id).set_waker(Arc::new(PoolWaker {
+                hub: hub.clone(),
+                actor: id.0,
+            }));
+        }
+        let started = self.clock.now();
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::Start, started);
+        }
+
+        let mut tasks = Vec::with_capacity(n_actors);
+        let mut is_source = Vec::with_capacity(n_actors);
+        for id in workflow.actor_ids() {
+            let node = workflow.node_mut(id);
+            let n_inputs = node.signature.inputs.len();
+            is_source.push(node.is_source);
+            tasks.push(Mutex::new(TaskState {
+                actor: node.take_actor(),
+                ctx: QueueContext::new(n_inputs),
+                id,
+                is_source: node.is_source,
+                finalized: false,
+                pending_out: VecDeque::new(),
+                block_since: None,
+                needs_postfire: false,
+            }));
+        }
+        let shared = Arc::new(PoolShared {
+            hub: hub.clone(),
+            fabric: fabric.clone(),
+            clock: self.clock.clone(),
+            tele: self.telemetry.clone(),
+            tasks,
+            is_source,
+            has_block_ports: fabric.has_block_ports(),
+            live: AtomicUsize::new(n_actors),
+            firings: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            first_error: Mutex::new(None),
+        });
+
+        // Sequential initialization on the caller thread (the threaded
+        // director initializes on each actor thread; the order here is
+        // deterministic instead).
+        for a in 0..n_actors {
+            let mut task = shared.tasks[a].lock();
+            let now = self.clock.now();
+            task.ctx.set_now(now);
+            let TaskState { actor, ctx, .. } = &mut *task;
+            let init = actor.initialize(ctx).and_then(|()| {
+                let (init_emissions, _) = ctx.take_emissions();
+                let n = fabric.route(ActorId(a), init_emissions, None, self.clock.now())?;
+                shared.routed.fetch_add(n, Ordering::Relaxed);
+                Ok(())
+            });
+            if let Err(e) = init {
+                shared.record_error(e);
+                finalize_task(&shared, &mut task, false);
+            }
+        }
+
+        if shared.live.load(Ordering::Acquire) > 0 {
+            for a in 0..n_actors {
+                hub.schedule(a);
+            }
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let shared = shared.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("cwf-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .map_err(|e| Error::Director(format!("failed to spawn pool worker: {e}")))?;
+                handles.push(handle);
+            }
+            let timer = {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name("cwf-pool-timer".to_string())
+                    .spawn(move || timer_loop(&shared))
+                    .map_err(|e| Error::Director(format!("failed to spawn pool timer: {e}")))?
+            };
+            for handle in handles {
+                handle
+                    .join()
+                    .map_err(|_| Error::Director("pool worker panicked".to_string()))?;
+            }
+            hub.begin_shutdown();
+            timer
+                .join()
+                .map_err(|_| Error::Director("pool timer panicked".to_string()))?;
+        } else {
+            hub.begin_shutdown();
+        }
+
+        if let Some(t) = &self.telemetry {
+            for w in 0..workers {
+                t.observer.on_worker(&WorkerMetrics {
+                    worker: w,
+                    fires: hub.fires[w].load(Ordering::Relaxed),
+                    steals: hub.steals[w].load(Ordering::Relaxed),
+                    queue_depth: hub.queue_max[w].load(Ordering::Relaxed),
+                });
+            }
+        }
+
+        let shared = Arc::try_unwrap(shared)
+            .map_err(|_| Error::Director("pool shared state still referenced".to_string()))?;
+        for (a, task) in shared.tasks.into_iter().enumerate() {
+            workflow.node_mut(ActorId(a)).return_actor(task.into_inner().actor);
+        }
+        let report = RunReport {
+            firings: shared.firings.load(Ordering::Relaxed),
+            events_routed: shared.routed.load(Ordering::Relaxed),
+            elapsed: self.clock.now().since(started),
+        };
+        if let Some(t) = &self.telemetry {
+            t.observer.on_run_phase(RunPhase::End, self.clock.now());
+        }
+        match shared.first_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    fn instrument(&mut self, telemetry: Telemetry) -> bool {
+        self.telemetry = Some(telemetry);
+        true
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>, w: usize) {
+    WORKER_ID.with(|c| c.set(w));
+    let hub = &shared.hub;
+    loop {
+        match hub.pop(w) {
+            Some((actor, stolen)) => {
+                if stolen {
+                    hub.steals[w].fetch_add(1, Ordering::Relaxed);
+                }
+                run_actor(shared, w, actor);
+            }
+            None => {
+                if hub.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                hub.wait_for_work();
+            }
+        }
+    }
+}
+
+/// Run one scheduled step of `actor` on worker `w`, handling the
+/// readiness state machine around it.
+fn run_actor(shared: &Arc<PoolShared>, w: usize, actor: usize) {
+    let hub = &shared.hub;
+    hub.states[actor].store(RUNNING, Ordering::Release);
+    let mut task = shared.tasks[actor].lock();
+    if task.finalized {
+        drop(task);
+        hub.states[actor].store(IDLE, Ordering::Release);
+        return;
+    }
+    let outcome = match catch_unwind(AssertUnwindSafe(|| step(shared, w, &mut task))) {
+        Ok(Ok(outcome)) => Some(outcome),
+        Ok(Err(e)) => {
+            shared.record_error(e);
+            None
+        }
+        Err(_) => {
+            shared.record_error(Error::Director(format!(
+                "actor {} panicked during a pooled firing",
+                task.id
+            )));
+            None
+        }
+    };
+    match outcome {
+        Some(StepOutcome::Requeue) => {
+            drop(task);
+            hub.states[actor].store(QUEUED, Ordering::Release);
+            hub.push(actor);
+        }
+        Some(StepOutcome::Idle) | Some(StepOutcome::Parked) => {
+            drop(task);
+            if hub.states[actor]
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // A wakeup arrived mid-step (state is RERUN): honor it.
+                hub.states[actor].store(QUEUED, Ordering::Release);
+                hub.push(actor);
+            }
+        }
+        Some(StepOutcome::Finish) => {
+            finalize_task(shared, &mut task, true);
+            drop(task);
+            hub.states[actor].store(IDLE, Ordering::Release);
+        }
+        None => {
+            finalize_task(shared, &mut task, false);
+            drop(task);
+            hub.states[actor].store(IDLE, Ordering::Release);
+        }
+    }
+}
+
+/// Wrap the actor up and close its outputs, exactly once. `run_wrapup`
+/// mirrors the threaded controller: `wrapup` runs on a clean finish and is
+/// skipped after an error, while `close_actor_outputs` always runs.
+fn finalize_task(shared: &PoolShared, task: &mut TaskState, run_wrapup: bool) {
+    if task.finalized {
+        return;
+    }
+    task.finalized = true;
+    // Anything still parked is admitted softly (blocking is off, so a full
+    // Block port over-admits rather than losing the events).
+    while let Some((dest, event)) = task.pending_out.pop_front() {
+        if let Err(e) = shared.fabric.deliver(dest, event, shared.clock.now()) {
+            shared.record_error(e);
+            break;
+        }
+    }
+    if run_wrapup {
+        if let Err(e) = task.actor.wrapup() {
+            shared.record_error(e);
+        }
+    }
+    if let Err(e) = shared
+        .fabric
+        .close_actor_outputs(task.id, shared.clock.now())
+    {
+        shared.record_error(e);
+    }
+    if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.hub.begin_shutdown();
+    }
+}
+
+/// One scheduled step: resume any suspended firing, then attempt the next
+/// one. Mirrors one iteration of the threaded controller's loop.
+fn step(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<StepOutcome> {
+    if shared.should_stop() {
+        return Ok(StepOutcome::Finish);
+    }
+    // Resume a firing suspended mid-delivery or pre-postfire.
+    if !task.pending_out.is_empty() && !flush_pending(shared, task)? {
+        return Ok(StepOutcome::Parked);
+    }
+    if task.needs_postfire {
+        task.needs_postfire = false;
+        if !task.actor.postfire(&mut task.ctx)? {
+            return Ok(StepOutcome::Finish);
+        }
+    }
+    if task.is_source {
+        step_source(shared, w, task)
+    } else {
+        step_internal(shared, w, task)
+    }
+}
+
+fn step_source(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<StepOutcome> {
+    let hub = &shared.hub;
+    let clock = &shared.clock;
+    // Pace by the source's timetable: instead of sleeping, register the
+    // arrival with the shared timer and yield the worker.
+    if let Some(arrival) = task.actor.next_arrival() {
+        let now = clock.now();
+        if arrival > now {
+            hub.register_deadline(arrival, task.id.0);
+            return Ok(StepOutcome::Idle);
+        }
+    }
+    let fire_start = clock.now();
+    task.ctx.set_now(fire_start);
+    let mut fired = false;
+    let mut emitted_any = false;
+    let mut tokens_out = 0u64;
+    let mut complete = true;
+    if task.actor.prefire(&mut task.ctx)? {
+        if let Some(t) = &shared.tele {
+            t.observer.on_fire_start(task.id, fire_start);
+        }
+        task.actor.fire(&mut task.ctx)?;
+        let (emissions, _) = task.ctx.take_emissions();
+        emitted_any = !emissions.is_empty();
+        tokens_out = emissions.len() as u64;
+        fired = true;
+        shared.firings.fetch_add(1, Ordering::Relaxed);
+        hub.fires[w].fetch_add(1, Ordering::Relaxed);
+        complete = deliver_emissions(shared, task, emissions, None, clock.now())?;
+        let expired = shared.fabric.route_expired(clock.now())?;
+        shared.routed.fetch_add(expired, Ordering::Relaxed);
+    }
+    if fired {
+        if let Some(t) = &shared.tele {
+            let ended = clock.now();
+            t.observer.on_fire_end(&FireRecord {
+                actor: task.id,
+                started: fire_start,
+                ended,
+                busy: ended.since(fire_start),
+                events_in: 0,
+                tokens_out,
+                origin: None,
+                fired,
+            });
+        }
+    }
+    if !complete {
+        task.needs_postfire = true;
+        return Ok(StepOutcome::Parked);
+    }
+    if !task.actor.postfire(&mut task.ctx)? {
+        return Ok(StepOutcome::Finish);
+    }
+    if !emitted_any && matches!(task.actor.next_arrival(), None | Some(Timestamp::ZERO)) {
+        // Nothing to say and no timetable to follow (idle push source):
+        // back off via the timer instead of spinning on the worker.
+        hub.register_deadline(clock.now().plus(SOURCE_BACKOFF), task.id.0);
+        return Ok(StepOutcome::Idle);
+    }
+    Ok(StepOutcome::Requeue)
+}
+
+fn step_internal(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<StepOutcome> {
+    let hub = &shared.hub;
+    let clock = &shared.clock;
+    let inbox = shared.fabric.inbox(task.id);
+    match inbox.try_pop() {
+        Some((port, window)) => {
+            let fire_start = clock.now();
+            task.ctx.set_now(fire_start);
+            task.ctx.deliver(port, window);
+            let mut fired = false;
+            let mut events_in = 0u64;
+            let mut tokens_out = 0u64;
+            let mut origin = None;
+            let mut complete = true;
+            // A prefire refusal reports neither a start nor a record — the
+            // window stays pending in the context, exactly as under the
+            // threaded director.
+            if task.actor.prefire(&mut task.ctx)? {
+                if let Some(t) = &shared.tele {
+                    t.observer.on_fire_start(task.id, fire_start);
+                }
+                task.actor.fire(&mut task.ctx)?;
+                events_in = task.ctx.consumed_events;
+                let (emissions, trigger) = task.ctx.take_emissions();
+                tokens_out = emissions.len() as u64;
+                origin = trigger.as_ref().map(|wv| wv.origin());
+                fired = true;
+                shared.firings.fetch_add(1, Ordering::Relaxed);
+                hub.fires[w].fetch_add(1, Ordering::Relaxed);
+                complete =
+                    deliver_emissions(shared, task, emissions, trigger.as_ref(), clock.now())?;
+                let expired = shared.fabric.route_expired(clock.now())?;
+                shared.routed.fetch_add(expired, Ordering::Relaxed);
+            }
+            if fired {
+                if let Some(t) = &shared.tele {
+                    let ended = clock.now();
+                    t.observer.on_fire_end(&FireRecord {
+                        actor: task.id,
+                        started: fire_start,
+                        ended,
+                        busy: ended.since(fire_start),
+                        events_in,
+                        tokens_out,
+                        origin,
+                        fired,
+                    });
+                }
+            }
+            if !complete {
+                task.needs_postfire = true;
+                return Ok(StepOutcome::Parked);
+            }
+            if !task.actor.postfire(&mut task.ctx)? {
+                return Ok(StepOutcome::Finish);
+            }
+            Ok(StepOutcome::Requeue)
+        }
+        None => {
+            if inbox.all_ports_closed() {
+                // Upstream flushes happen-before the closing notification,
+                // so re-check for windows pushed by the final flush.
+                if inbox.is_empty() {
+                    return Ok(StepOutcome::Finish);
+                }
+                return Ok(StepOutcome::Requeue);
+            }
+            if let Some(deadline) = shared
+                .fabric
+                .receivers(task.id)
+                .iter()
+                .filter_map(|r| r.next_deadline())
+                .min()
+            {
+                hub.register_deadline(deadline, task.id.0);
+            }
+            Ok(StepOutcome::Idle)
+        }
+    }
+}
+
+/// Stamp and deliver one firing's emissions. Without `Block` ports the
+/// whole batch goes through the fabric's batched route. With them, events
+/// are stamped up front (so wave serials match the batched path exactly)
+/// and admitted one by one; a full `Block` port parks the task with the
+/// remainder queued in `pending_out`. Returns whether delivery completed.
+fn deliver_emissions(
+    shared: &PoolShared,
+    task: &mut TaskState,
+    emissions: Vec<(usize, crate::token::Token)>,
+    parent: Option<&WaveTag>,
+    now: Timestamp,
+) -> Result<bool> {
+    if emissions.is_empty() {
+        return Ok(true);
+    }
+    if !shared.has_block_ports {
+        let n = shared.fabric.route(task.id, emissions, parent, now)?;
+        shared.routed.fetch_add(n, Ordering::Relaxed);
+        return Ok(true);
+    }
+    let n = emissions.len();
+    let mut delivered = 0u64;
+    for (i, (port, token)) in emissions.into_iter().enumerate() {
+        let dests = shared.fabric.route_targets(task.id, port);
+        if dests.is_empty() {
+            continue;
+        }
+        let event = match parent {
+            None => CwEvent::external(token, now),
+            Some(parent) => CwEvent::derived(token, now, parent, (i + 1) as u32, i + 1 == n),
+        };
+        delivered += dests.len() as u64;
+        let (last, fanned) = dests.split_last().expect("dests is non-empty");
+        for dest in fanned {
+            task.pending_out.push_back((*dest, event.clone()));
+        }
+        task.pending_out.push_back((*last, event));
+    }
+    if delivered == 0 {
+        return Ok(true);
+    }
+    // Block never drops, so every stamped event will eventually be
+    // admitted: count and report the route now, deliver (possibly across
+    // several task resumptions) below.
+    shared.routed.fetch_add(delivered, Ordering::Relaxed);
+    if let Some(obs) = shared.fabric.observer() {
+        obs.on_route(task.id, delivered, now);
+    }
+    flush_pending(shared, task)
+}
+
+/// Admit queued stamped events until done or a full `Block` port parks
+/// the task. Returns whether the queue drained.
+fn flush_pending(shared: &PoolShared, task: &mut TaskState) -> Result<bool> {
+    while let Some((dest, event)) = task.pending_out.pop_front() {
+        let receiver = &shared.fabric.receivers(dest.actor)[dest.port];
+        let is_block =
+            receiver.policy().is_bounded() && receiver.policy().on_full == OnFull::Block;
+        let now = shared.clock.now();
+        if !is_block {
+            shared.fabric.deliver(dest, event, now)?;
+            continue;
+        }
+        match shared.fabric.try_deliver(dest, event, now)? {
+            TryDeliver::Delivered(_) => {
+                if let Some(since) = task.block_since.take() {
+                    if let Some(obs) = shared.fabric.observer() {
+                        let waited = Micros(since.elapsed().as_micros() as u64);
+                        obs.on_block(dest.actor, dest.port, waited, now);
+                    }
+                }
+            }
+            TryDeliver::Full(event) => {
+                task.pending_out.push_front((dest, event));
+                task.block_since.get_or_insert_with(Instant::now);
+                shared.hub.add_space_waiter(dest.actor.0, task.id.0);
+                // Lost-wakeup guard: space may have freed between the
+                // failed put and the waiter registration.
+                if !receiver.is_full() {
+                    continue;
+                }
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// The timer thread: serves timed-window deadlines and source arrivals
+/// from the shared heap, polls for cooperative stops, and runs the
+/// Parks-style artificial-deadlock detector for parked writer tasks.
+fn timer_loop(shared: &Arc<PoolShared>) {
+    let hub = &shared.hub;
+    let mut last_progress = shared.fabric.progress_counter();
+    let mut stalled_since: Option<Instant> = None;
+    loop {
+        if hub.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let now = shared.clock.now();
+        let mut due: Vec<usize> = Vec::new();
+        {
+            let mut heap = hub.timer.lock();
+            while let Some(&std::cmp::Reverse((t, a))) = heap.peek() {
+                if t > now.as_micros() {
+                    break;
+                }
+                heap.pop();
+                due.push(a);
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+        for a in due {
+            if shared.is_source[a] {
+                hub.schedule(a);
+                continue;
+            }
+            // A window-formation deadline passed: force the receivers to
+            // evaluate (formed windows wake the actor through its inbox).
+            shared.fabric.poll_actor(ActorId(a), now);
+            match shared.fabric.route_expired(now) {
+                Ok(n) => {
+                    shared.routed.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(e) => shared.record_error(e),
+            }
+            if let Some(next) = shared
+                .fabric
+                .receivers(ActorId(a))
+                .iter()
+                .filter_map(|r| r.next_deadline())
+                .min()
+            {
+                hub.register_deadline(next, a);
+            }
+            hub.schedule(a);
+        }
+        if shared.should_stop() {
+            for a in 0..hub.states.len() {
+                hub.schedule(a);
+            }
+        }
+        // Artificial-deadlock relief: writers parked and the whole fabric
+        // frozen for RELIEF_PATIENCE — grow the smallest full Block queue
+        // (its inbox then raises on_space and the writers reschedule).
+        if hub.waiting_writers.load(Ordering::Relaxed) > 0 {
+            let progress = shared.fabric.progress_counter();
+            if progress != last_progress {
+                last_progress = progress;
+                stalled_since = None;
+            } else {
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= RELIEF_PATIENCE {
+                    shared.fabric.relieve_deadlock();
+                    stalled_since = None;
+                }
+            }
+        } else {
+            last_progress = shared.fabric.progress_counter();
+            stalled_since = None;
+        }
+        let wait = {
+            let heap = hub.timer.lock();
+            heap.peek()
+                .map(|&std::cmp::Reverse((t, _))| {
+                    Duration::from_micros(t.saturating_sub(shared.clock.now().as_micros()))
+                })
+                .map_or(POOL_POLL, |d| d.min(POOL_POLL))
+        };
+        hub.timer_wait(wait.max(Duration::from_micros(100)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{FireContext, IoSignature};
+    use crate::actors::{Collector, PushSource, TimedSource, VecSource};
+    use crate::graph::WorkflowBuilder;
+    use crate::time::Micros;
+    use crate::token::Token;
+    use crate::window::{GroupBy, WindowSpec};
+
+    struct AddOne;
+    impl Actor for AddOne {
+        fn signature(&self) -> IoSignature {
+            IoSignature::transform("in", "out")
+        }
+        fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+            while let Some(w) = ctx.get(0) {
+                for t in w.tokens() {
+                    ctx.emit(0, Token::Int(t.as_int()? + 1));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn runs_linear_pipeline_to_completion() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("pipeline");
+        let s = b.add_actor("src", VecSource::new((0..10).map(Token::Int).collect()));
+        let a = b.add_actor("inc", AddOne);
+        let k = b.add_actor("sink", c.actor());
+        b.connect(s, "out", a, "in").unwrap();
+        b.connect(a, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let report = PoolDirector::new().with_workers(2).run(&mut wf).unwrap();
+        assert_eq!(c.tokens(), (1..=10).map(Token::Int).collect::<Vec<_>>());
+        assert!(report.firings >= 11);
+        assert_eq!(report.events_routed, 20);
+    }
+
+    #[test]
+    fn fan_out_and_merge() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("diamond");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1), Token::Int(2)]));
+        let a1 = b.add_actor("a1", AddOne);
+        let a2 = b.add_actor("a2", AddOne);
+        let u = b.add_actor("union", crate::actors::Union::new(2));
+        let k = b.add_actor("sink", c.actor());
+        b.connect(s, "out", a1, "in").unwrap();
+        b.connect(s, "out", a2, "in").unwrap();
+        b.connect(a1, "out", u, "in0").unwrap();
+        b.connect(a2, "out", u, "in1").unwrap();
+        b.connect(u, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        PoolDirector::new().with_workers(3).run(&mut wf).unwrap();
+        let mut got: Vec<i64> = c.tokens().iter().map(|t| t.as_int().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![2, 2, 3, 3], "both branches see both tokens");
+    }
+
+    #[test]
+    fn grouped_sliding_windows_under_the_pool() {
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("windows");
+        let reports: Vec<Token> = vec![(1, 10), (2, 30), (1, 11), (2, 31), (1, 12)]
+            .into_iter()
+            .map(|(car, pos)| Token::record().field("carid", car).field("pos", pos).build())
+            .collect();
+        let s = b.add_actor("src", VecSource::new(reports));
+        let pairs = b.add_actor(
+            "pairs",
+            crate::actors::FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+                if w.len() < 2 {
+                    return Ok(());
+                }
+                let first = w.events.first().unwrap().token.int_field("pos")?;
+                let last = w.events.last().unwrap().token.int_field("pos")?;
+                emit(0, Token::Int(last - first));
+                Ok(())
+            }),
+        );
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(
+            s,
+            "out",
+            pairs,
+            "in",
+            WindowSpec::tuples(2, 1).group_by(GroupBy::fields(&["carid"])),
+        )
+        .unwrap();
+        b.connect(pairs, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        PoolDirector::new().with_workers(2).run(&mut wf).unwrap();
+        let mut got: Vec<i64> = c.tokens().iter().map(|t| t.as_int().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn timed_window_timeout_fires_under_timer_thread() {
+        // A lone event in a 20ms tumbling window must come out via the
+        // shared timer (no later event ever closes the window).
+        let c = Collector::new();
+        let mut b = WorkflowBuilder::new("timeout");
+        let s = b.add_actor("src", TimedSource::new(vec![(Timestamp(0), Token::Int(1))]));
+        let agg = b.add_actor(
+            "agg",
+            crate::actors::FnActor::new(IoSignature::transform("in", "out"), |w, emit| {
+                emit(0, Token::Int(w.len() as i64));
+                Ok(())
+            }),
+        );
+        let k = b.add_actor("sink", c.actor());
+        b.connect_windowed(
+            s,
+            "out",
+            agg,
+            "in",
+            WindowSpec::tumbling_time(Micros::from_millis(20)),
+        )
+        .unwrap();
+        b.connect(agg, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        PoolDirector::new().with_workers(1).run(&mut wf).unwrap();
+        assert_eq!(c.tokens(), vec![Token::Int(1)]);
+    }
+
+    #[test]
+    fn push_source_end_to_end() {
+        let c = Collector::new();
+        let (src, handle) = PushSource::new();
+        let mut b = WorkflowBuilder::new("push");
+        let s = b.add_actor("src", src);
+        let k = b.add_actor("sink", c.actor());
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let producer = std::thread::spawn(move || {
+            for i in 0..5 {
+                handle.push(Token::Int(i));
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        PoolDirector::new().with_workers(2).run(&mut wf).unwrap();
+        producer.join().unwrap();
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn actor_error_is_reported() {
+        struct Boom;
+        impl Actor for Boom {
+            fn signature(&self) -> IoSignature {
+                IoSignature::sink("in")
+            }
+            fn fire(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+                Err(Error::actor("boom", "fire", "deliberate"))
+            }
+        }
+        let mut b = WorkflowBuilder::new("err");
+        let s = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+        let k = b.add_actor("boom", Boom);
+        b.connect(s, "out", k, "in").unwrap();
+        let mut wf = b.build().unwrap();
+        let err = PoolDirector::new().with_workers(2).run(&mut wf).unwrap_err();
+        assert!(matches!(err, Error::Actor { .. }));
+    }
+
+    #[test]
+    fn worker_count_is_configurable() {
+        let d = PoolDirector::new().with_workers(0);
+        assert_eq!(d.worker_count(), 1, "clamped to at least one worker");
+        let d = PoolDirector::new().with_workers(7);
+        assert_eq!(d.worker_count(), 7);
+    }
+}

@@ -160,6 +160,13 @@ impl Engine {
         self
     }
 
+    /// Execute on the pooled work-stealing director with `workers` worker
+    /// threads (shorthand for `with_director(PoolDirector::new()
+    /// .with_workers(n))`).
+    pub fn with_workers(self, workers: usize) -> RunHandle {
+        self.with_director(crate::director::pool::PoolDirector::new().with_workers(workers))
+    }
+
     /// Attach an additional [`Observer`]; hooks fan out to every attached
     /// observer plus the engine's own recorder.
     pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> RunHandle {

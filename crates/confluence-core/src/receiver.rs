@@ -31,6 +31,18 @@ use crate::event::CwEvent;
 use crate::time::Timestamp;
 use crate::window::{Window, WindowOperator, WindowSpec};
 
+/// Callback surface for executors that schedule actors as tasks instead of
+/// parking a thread per inbox (the pool director). Installed once per inbox
+/// via [`ActorInbox::set_waker`]; the inbox invokes it outside its own lock.
+pub trait InboxWaker: Send + Sync {
+    /// A window became ready (or a feeding port closed): the owning actor
+    /// should be (re-)enqueued for execution.
+    fn on_ready(&self);
+    /// Queue space was freed on this inbox: writers parked on a full port
+    /// may retry.
+    fn on_space(&self);
+}
+
 /// Result of a blocking inbox pop.
 #[derive(Debug, PartialEq)]
 pub enum InboxPop {
@@ -61,7 +73,6 @@ impl InboxState {
 }
 
 /// The per-actor ready queue of formed windows.
-#[derive(Debug)]
 pub struct ActorInbox {
     state: Mutex<InboxState>,
     cond: Condvar,
@@ -71,6 +82,17 @@ pub struct ActorInbox {
     /// Shared fabric-wide progress counter, bumped on every push and pop.
     /// The no-progress detector behind Parks-style deadlock relief reads it.
     progress: Arc<AtomicU64>,
+    /// Optional task-executor hook, set once before the run starts.
+    waker: std::sync::OnceLock<Arc<dyn InboxWaker>>,
+}
+
+impl std::fmt::Debug for ActorInbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorInbox")
+            .field("state", &self.state)
+            .field("has_waker", &self.waker.get().is_some())
+            .finish()
+    }
 }
 
 impl ActorInbox {
@@ -90,7 +112,26 @@ impl ActorInbox {
             cond: Condvar::new(),
             space: Condvar::new(),
             progress,
+            waker: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Install the task-executor hook. First caller wins; the thread-based
+    /// directors never install one and pay nothing for the check.
+    pub fn set_waker(&self, waker: Arc<dyn InboxWaker>) {
+        let _ = self.waker.set(waker);
+    }
+
+    fn wake_ready(&self) {
+        if let Some(w) = self.waker.get() {
+            w.on_ready();
+        }
+    }
+
+    fn wake_space(&self) {
+        if let Some(w) = self.waker.get() {
+            w.on_space();
+        }
     }
 
     /// Enqueue a formed window from input port `port`.
@@ -101,6 +142,25 @@ impl ActorInbox {
         drop(st);
         self.progress.fetch_add(1, Ordering::Relaxed);
         self.cond.notify_one();
+        self.wake_ready();
+    }
+
+    /// Enqueue a batch of formed windows from input port `port` under one
+    /// lock acquisition, with one progress bump and one wakeup for the
+    /// whole batch (the fabric's batched routing path).
+    pub fn push_batch(&self, port: usize, windows: Vec<Window>) {
+        if windows.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        *st.depth_slot(port) += windows.len();
+        for w in windows {
+            st.windows.push_back((port, w));
+        }
+        drop(st);
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        self.cond.notify_one();
+        self.wake_ready();
     }
 
     /// Non-blocking pop (used by scheduled directors).
@@ -114,6 +174,7 @@ impl ActorInbox {
             drop(st);
             self.progress.fetch_add(1, Ordering::Relaxed);
             self.space.notify_all();
+            self.wake_space();
         }
         popped
     }
@@ -130,6 +191,7 @@ impl ActorInbox {
                 drop(st);
                 self.progress.fetch_add(1, Ordering::Relaxed);
                 self.space.notify_all();
+                self.wake_space();
                 return InboxPop::Window(port, w);
             }
             if st.open_ports == 0 {
@@ -172,6 +234,7 @@ impl ActorInbox {
         drop(st);
         self.progress.fetch_add(1, Ordering::Relaxed);
         self.space.notify_all();
+        self.wake_space();
         Some(w)
     }
 
@@ -200,6 +263,7 @@ impl ActorInbox {
     /// Wake writers blocked on a full port (used after capacity growth).
     pub fn notify_space(&self) {
         self.space.notify_all();
+        self.wake_space();
     }
 
     /// Mark one feeding port as closed (its upstream actors all finished).
@@ -209,6 +273,8 @@ impl ActorInbox {
         drop(st);
         self.cond.notify_all();
         self.space.notify_all();
+        self.wake_ready();
+        self.wake_space();
     }
 
     /// Whether every feeding port has closed (more windows may still be
@@ -359,6 +425,40 @@ impl PortReceiver {
             self.inbox.push(self.port, w);
         }
         Ok(n)
+    }
+
+    /// Admit a whole firing's worth of events under a single operator-lock
+    /// acquisition, forwarding all formed windows to the inbox in one
+    /// batch. Capacity is not consulted — the fabric only takes this path
+    /// for unbounded ports. Returns windows formed.
+    ///
+    /// On a mid-batch error the windows formed so far are still forwarded
+    /// (matching the per-event path, which forwards as it goes) before the
+    /// error is returned.
+    pub fn put_batch(&self, events: Vec<CwEvent>, now: Timestamp) -> Result<usize> {
+        let mut op = self.op.lock();
+        let mut formed = Vec::new();
+        let mut failed = None;
+        for event in events {
+            match op.push(event, now) {
+                Ok(n) => {
+                    for _ in 0..n {
+                        formed.push(op.pop_window().expect("push reported n windows"));
+                    }
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(op);
+        let n = formed.len();
+        self.inbox.push_batch(self.port, formed);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
     }
 
     /// Capacity-aware put. On a full port, resolves according to the

@@ -80,6 +80,21 @@ pub struct FireRecord {
     pub fired: bool,
 }
 
+/// Counters for one worker thread of a pooled executor (the
+/// [`PoolDirector`](crate::director::pool::PoolDirector)), reported once
+/// per worker at the end of a run through [`Observer::on_worker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Firings executed on this worker.
+    pub fires: u64,
+    /// Tasks this worker stole from other workers' deques.
+    pub steals: u64,
+    /// High-water mark of this worker's ready deque.
+    pub queue_depth: u64,
+}
+
 /// Execution hooks. All methods default to no-ops so observers implement
 /// only what they need. Implementations must be cheap and thread-safe:
 /// the threaded director invokes them concurrently from actor threads.
@@ -128,6 +143,11 @@ pub trait Observer: Send + Sync {
     /// channel policy.
     fn on_shed(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
         let _ = (actor, port, events, at);
+    }
+
+    /// End-of-run counters for one worker thread of a pooled executor.
+    fn on_worker(&self, metrics: &WorkerMetrics) {
+        let _ = metrics;
     }
 }
 
@@ -188,6 +208,11 @@ impl Observer for MultiObserver {
     fn on_shed(&self, actor: ActorId, port: usize, events: u64, at: Timestamp) {
         for o in &self.observers {
             o.on_shed(actor, port, events, at);
+        }
+    }
+    fn on_worker(&self, metrics: &WorkerMetrics) {
+        for o in &self.observers {
+            o.on_worker(metrics);
         }
     }
 }
@@ -277,6 +302,12 @@ mod tests {
         multi.on_expire(ActorId(0), 0, 4, Timestamp(1));
         multi.on_block(ActorId(0), 0, Micros(7), Timestamp(1));
         multi.on_shed(ActorId(0), 0, 2, Timestamp(1));
+        multi.on_worker(&WorkerMetrics {
+            worker: 0,
+            fires: 3,
+            steals: 1,
+            queue_depth: 2,
+        });
         multi.on_fire_end(&FireRecord {
             actor: ActorId(0),
             started: Timestamp::ZERO,

@@ -2,10 +2,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
+
 use crate::graph::{ActorId, Workflow};
 use crate::time::{Micros, Timestamp};
 
-use super::{FireRecord, Observer, RunPhase};
+use super::{FireRecord, Observer, RunPhase, WorkerMetrics};
 
 /// Number of power-of-two latency buckets: bucket `i` counts samples
 /// `< 2^i` µs; the final bucket is the overflow (+Inf) bucket. 2^38 µs
@@ -176,6 +178,9 @@ pub struct MetricsRecorder {
     latency: LatencyHistogram,
     run_started: AtomicU64,
     run_ended: AtomicU64,
+    /// Per-worker counters from pooled executors (empty under the
+    /// thread-per-actor directors). Cold path: reported once per run.
+    workers: Mutex<Vec<WorkerMetrics>>,
 }
 
 impl MetricsRecorder {
@@ -207,6 +212,7 @@ impl MetricsRecorder {
             latency: LatencyHistogram::new(),
             run_started: AtomicU64::new(0),
             run_ended: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
         }
     }
 
@@ -249,12 +255,15 @@ impl MetricsRecorder {
                 events_shed: c.events_shed.load(Ordering::Relaxed),
             })
             .collect();
+        let mut workers = self.workers.lock().clone();
+        workers.sort_by_key(|w| w.worker);
         MetricsSnapshot {
             actors,
             events_routed: self.events_routed.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             run_started: Timestamp(self.run_started.load(Ordering::Relaxed)),
             run_ended: Timestamp(self.run_ended.load(Ordering::Relaxed)),
+            workers,
         }
     }
 }
@@ -328,6 +337,14 @@ impl Observer for MetricsRecorder {
             cell.events_shed.fetch_add(events, Ordering::Relaxed);
         }
     }
+
+    fn on_worker(&self, metrics: &WorkerMetrics) {
+        let mut workers = self.workers.lock();
+        match workers.iter_mut().find(|w| w.worker == metrics.worker) {
+            Some(w) => *w = metrics.clone(),
+            None => workers.push(metrics.clone()),
+        }
+    }
 }
 
 /// Point-in-time view over a [`MetricsRecorder`].
@@ -342,6 +359,9 @@ pub struct MetricsSnapshot {
     pub run_started: Timestamp,
     /// Director time at [`RunPhase::End`].
     pub run_ended: Timestamp,
+    /// Per-worker counters from pooled executors, ordered by worker index
+    /// (empty under the thread-per-actor directors).
+    pub workers: Vec<WorkerMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -420,6 +440,21 @@ impl MetricsSnapshot {
             push_kv_u64(&mut out, "block_us", a.block_time.as_micros());
             out.push(',');
             push_kv_u64(&mut out, "events_shed", a.events_shed);
+            out.push('}');
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_kv_u64(&mut out, "worker", w.worker as u64);
+            out.push(',');
+            push_kv_u64(&mut out, "fires", w.fires);
+            out.push(',');
+            push_kv_u64(&mut out, "steals", w.steals);
+            out.push(',');
+            push_kv_u64(&mut out, "queue_depth", w.queue_depth);
             out.push('}');
         }
         out.push_str("],\"latency\":{");
@@ -529,6 +564,37 @@ impl MetricsSnapshot {
             "confluence_events_routed_total {}\n",
             self.events_routed
         ));
+        if !self.workers.is_empty() {
+            type WorkerCol = (&'static str, &'static str, fn(&WorkerMetrics) -> u64);
+            let worker_counters: [WorkerCol; 2] = [
+                (
+                    "confluence_worker_fires_total",
+                    "Firings executed per pool worker",
+                    |w| w.fires,
+                ),
+                (
+                    "confluence_worker_steals_total",
+                    "Tasks stolen from other workers' deques per pool worker",
+                    |w| w.steals,
+                ),
+            ];
+            for (name, help, get) in worker_counters {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for w in &self.workers {
+                    out.push_str(&format!("{name}{{worker=\"{}\"}} {}\n", w.worker, get(w)));
+                }
+            }
+            out.push_str(
+                "# HELP confluence_worker_queue_depth High-water mark of the worker's ready deque\n\
+                 # TYPE confluence_worker_queue_depth gauge\n",
+            );
+            for w in &self.workers {
+                out.push_str(&format!(
+                    "confluence_worker_queue_depth{{worker=\"{}\"}} {}\n",
+                    w.worker, w.queue_depth
+                ));
+            }
+        }
         out.push_str(
             "# HELP confluence_tuple_latency_seconds End-to-end tuple latency at the sinks\n\
              # TYPE confluence_tuple_latency_seconds histogram\n",
@@ -586,6 +652,12 @@ impl MetricsSnapshot {
                 a.events_expired,
                 a.blocks,
                 a.events_shed
+            ));
+        }
+        for w in &self.workers {
+            out.push_str(&format!(
+                "worker {}: fires={} steals={} queue_max={}\n",
+                w.worker, w.fires, w.steals, w.queue_depth
             ));
         }
         out.push_str(&format!(
@@ -785,6 +857,50 @@ mod tests {
         assert!(prom.contains("confluence_actor_block_microseconds_total{actor=\"sink\"} 500"));
         assert!(prom.contains("confluence_actor_events_shed_total{actor=\"sink\"} 4"));
         assert!(prom.contains("confluence_actor_queue_high_water{actor=\"sink\"} 0"));
+    }
+
+    #[test]
+    fn recorder_collects_worker_metrics() {
+        let r = recorder2();
+        let w1 = WorkerMetrics {
+            worker: 1,
+            fires: 8,
+            steals: 2,
+            queue_depth: 5,
+        };
+        let w0 = WorkerMetrics {
+            worker: 0,
+            fires: 12,
+            steals: 0,
+            queue_depth: 3,
+        };
+        r.on_worker(&w1);
+        r.on_worker(&w0);
+        // Re-reporting the same worker replaces, not duplicates.
+        r.on_worker(&w0);
+        let s = r.snapshot();
+        assert_eq!(s.workers, vec![w0, w1], "sorted by worker index");
+        let json = s.to_json();
+        assert!(json.contains(
+            "\"workers\":[{\"worker\":0,\"fires\":12,\"steals\":0,\"queue_depth\":3},\
+             {\"worker\":1,\"fires\":8,\"steals\":2,\"queue_depth\":5}]"
+        ));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("confluence_worker_fires_total{worker=\"0\"} 12"));
+        assert!(prom.contains("confluence_worker_steals_total{worker=\"1\"} 2"));
+        assert!(prom.contains("confluence_worker_queue_depth{worker=\"1\"} 5"));
+        let table = s.render_table();
+        assert!(table.contains("worker 0: fires=12 steals=0 queue_max=3"));
+    }
+
+    #[test]
+    fn worker_sections_absent_without_pool_runs() {
+        let r = recorder2();
+        let s = r.snapshot();
+        assert!(s.workers.is_empty());
+        assert!(s.to_json().contains("\"workers\":[]"));
+        assert!(!s.to_prometheus().contains("confluence_worker_"));
+        assert!(!s.render_table().contains("worker 0"));
     }
 
     #[test]

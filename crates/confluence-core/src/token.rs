@@ -36,24 +36,57 @@ pub enum Token {
     Array(Arc<[Token]>),
 }
 
+/// Records at or below this many fields are probed linearly on lookup —
+/// a handful of short string compares beats binary-search bookkeeping.
+const SMALL_RECORD: usize = 8;
+
 /// A record token's payload: ordered named fields.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Record {
     fields: Vec<(Arc<str>, Token)>,
+    /// Field positions ordered by name, populated only past
+    /// [`SMALL_RECORD`] fields: lookups binary-search this permutation
+    /// instead of re-scanning the declaration order.
+    sorted: Box<[u16]>,
 }
 
 impl Record {
     /// Create a record from `(name, value)` pairs, keeping order.
     pub fn new(fields: Vec<(Arc<str>, Token)>) -> Self {
-        Record { fields }
+        let sorted = if fields.len() > SMALL_RECORD && fields.len() <= u16::MAX as usize {
+            let mut index: Vec<u16> = (0..fields.len() as u16).collect();
+            index.sort_by(|&a, &b| fields[a as usize].0.cmp(&fields[b as usize].0));
+            index.into_boxed_slice()
+        } else {
+            Box::default()
+        };
+        Record { fields, sorted }
+    }
+
+    /// Declaration-order position of field `name`: a linear probe for
+    /// small records, a binary search over the name-sorted permutation
+    /// otherwise. Pairs with [`Record::get_at`] so hot loops can resolve
+    /// a field name once and index thereafter.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if self.sorted.is_empty() {
+            return self.fields.iter().position(|(n, _)| n.as_ref() == name);
+        }
+        let at = self
+            .sorted
+            .partition_point(|&i| self.fields[i as usize].0.as_ref() < name);
+        let &i = self.sorted.get(at)?;
+        (self.fields[i as usize].0.as_ref() == name).then_some(i as usize)
     }
 
     /// Look a field up by name.
     pub fn get(&self, name: &str) -> Option<&Token> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n.as_ref() == name)
-            .map(|(_, v)| v)
+        self.index_of(name).map(|i| &self.fields[i].1)
+    }
+
+    /// Field value at declaration-order position `index` (from
+    /// [`Record::index_of`]).
+    pub fn get_at(&self, index: usize) -> Option<&Token> {
+        self.fields.get(index).map(|(_, v)| v)
     }
 
     /// Iterate the fields in declaration order.
@@ -80,7 +113,14 @@ impl Record {
         } else {
             fields.push((Arc::from(name), value));
         }
-        Record { fields }
+        Record::new(fields)
+    }
+}
+
+/// Field-wise equality; the lookup index is derived state.
+impl PartialEq for Record {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
     }
 }
 
@@ -459,6 +499,46 @@ mod tests {
         let extended = rec.with("b", Token::Int(2));
         assert_eq!(extended.len(), 2);
         assert_eq!(extended.get("b").unwrap().as_int().unwrap(), 2);
+    }
+
+    #[test]
+    fn index_of_and_get_agree_across_probe_paths() {
+        // Small record: linear probe path.
+        let small = Token::record().field("carid", 1).field("seg", 2).build();
+        let rec = small.as_record().unwrap();
+        assert_eq!(rec.index_of("carid"), Some(0));
+        assert_eq!(rec.index_of("seg"), Some(1));
+        assert_eq!(rec.index_of("nope"), None);
+        assert_eq!(rec.get_at(1).unwrap().as_int().unwrap(), 2);
+        assert_eq!(rec.get_at(9), None);
+        // Large record: binary search over the name-sorted permutation.
+        let mut b = Token::record();
+        for i in 0..20 {
+            b = b.field(&format!("f{i:02}"), i);
+        }
+        let large = b.field("seg", 99).build();
+        let rec = large.as_record().unwrap();
+        for i in 0..20 {
+            let name = format!("f{i:02}");
+            let at = rec.index_of(&name).unwrap();
+            assert_eq!(at, i as usize, "declaration order is preserved");
+            assert_eq!(rec.get_at(at), rec.get(&name));
+        }
+        assert_eq!(rec.index_of("seg"), Some(20));
+        assert_eq!(large.int_field("seg").unwrap(), 99);
+        assert_eq!(rec.index_of("zzz"), None);
+        assert_eq!(rec.index_of(""), None);
+    }
+
+    #[test]
+    fn record_equality_ignores_lookup_index() {
+        let mut a = Token::record();
+        let mut b = Token::record();
+        for i in 0..12 {
+            a = a.field(&format!("k{i}"), i);
+            b = b.field(&format!("k{i}"), i);
+        }
+        assert_eq!(a.build(), b.build());
     }
 
     #[test]

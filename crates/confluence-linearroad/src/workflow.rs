@@ -39,6 +39,10 @@ pub struct LrOptions {
     /// response time (paper §4.3: integrated sources can be tuned to shed
     /// load under overloading situations). `None` = no shedding.
     pub shed_target: Option<confluence_core::time::Micros>,
+    /// Compress the workload timetable by this factor (arrival timestamps
+    /// are divided by it), so real-time directors replay a long trace in a
+    /// fraction of its wall-clock duration. `1` replays in real time.
+    pub arrival_speedup: u64,
 }
 
 impl Default for LrOptions {
@@ -46,6 +50,7 @@ impl Default for LrOptions {
         LrOptions {
             composite_subworkflows: true,
             shed_target: None,
+            arrival_speedup: 1,
         }
     }
 }
@@ -72,7 +77,13 @@ pub fn build(workload: &Workload, opts: &LrOptions) -> Result<LinearRoad> {
     let accident_output = NotificationOutput::new();
 
     let mut b = WorkflowBuilder::new("linear-road");
-    let real_source = b.add_actor("source", TimedSource::new(workload.schedule()));
+    let mut schedule = workload.schedule();
+    if opts.arrival_speedup > 1 {
+        for (at, _) in &mut schedule {
+            *at = confluence_core::time::Timestamp(at.as_micros() / opts.arrival_speedup);
+        }
+    }
+    let real_source = b.add_actor("source", TimedSource::new(schedule));
     // With shedding enabled, every consumer hangs off the shedder instead
     // of the raw source.
     let (source, shedder) = match opts.shed_target {

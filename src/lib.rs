@@ -50,6 +50,7 @@ pub mod prelude {
     pub use confluence_core::channel::{ChannelPolicy, OnFull};
     pub use confluence_core::director::ddf::DdfDirector;
     pub use confluence_core::director::de::DeDirector;
+    pub use confluence_core::director::pool::PoolDirector;
     pub use confluence_core::director::sdf::SdfDirector;
     pub use confluence_core::director::threaded::ThreadedDirector;
     pub use confluence_core::director::{Director, RunReport};

@@ -10,6 +10,7 @@ use confluence::core::actor::{Actor, FireContext, IoSignature, SdfRates};
 use confluence::core::actors::{Collector, VecSource};
 use confluence::core::director::ddf::DdfDirector;
 use confluence::core::director::de::DeDirector;
+use confluence::core::director::pool::PoolDirector;
 use confluence::core::director::sdf::SdfDirector;
 use confluence::core::director::threaded::ThreadedDirector;
 use confluence::core::error::Result;
@@ -134,11 +135,17 @@ fn assert_pipeline_flow(snap: &MetricsSnapshot, director: &str) {
 }
 
 #[test]
-fn metrics_identical_flow_across_all_five_directors() {
+fn metrics_identical_flow_across_all_six_directors() {
     let runs: Vec<(&str, MetricsSnapshot)> = vec![
         ("threaded", {
             let (wf, _c) = pipeline(false);
             let mut e = Engine::new(wf).with_director(ThreadedDirector::new());
+            e.run().unwrap();
+            e.snapshot()
+        }),
+        ("pool", {
+            let (wf, _c) = pipeline(false);
+            let mut e = Engine::new(wf).with_director(PoolDirector::new().with_workers(2));
             e.run().unwrap();
             e.snapshot()
         }),
@@ -177,6 +184,12 @@ fn metrics_identical_flow_across_all_five_directors() {
     // The scheduled director charges model cost as busy time.
     let scwf = &runs.iter().find(|(d, _)| *d == "scwf").unwrap().1;
     assert!(scwf.actor("double").unwrap().busy > Micros::ZERO);
+    // The pool executor additionally reports per-worker counters, and
+    // every firing is attributed to exactly one worker.
+    let pool = &runs.iter().find(|(d, _)| *d == "pool").unwrap().1;
+    assert_eq!(pool.workers.len(), 2, "one metrics row per pool worker");
+    let worker_fires: u64 = pool.workers.iter().map(|w| w.fires).sum();
+    assert_eq!(worker_fires, pool.total_fires(), "worker fires cover the run");
 }
 
 #[test]

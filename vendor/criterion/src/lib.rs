@@ -9,10 +9,37 @@
 //! by eye.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub fn black_box<T>(value: T) -> T {
     std_black_box(value)
+}
+
+/// The timing summary of one completed benchmark routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Full label (`group/function` or the bare function name).
+    pub name: String,
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: u64,
+    /// Iterations timed.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain the results recorded since the last call — lets a custom
+/// `cargo bench` harness post-process timings (ratio checks, JSON
+/// artifacts) that real criterion would expose through its output files.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
+
+/// Smoke mode (`cargo bench -- --test`): run each routine once, just to
+/// prove it still works — mirrors real criterion's `--test` flag.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 #[derive(Default)]
@@ -69,15 +96,23 @@ fn run_bench<F>(label: &str, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let samples = if is_test_mode() { 1 } else { samples.min(10) };
     let mut b = Bencher {
-        samples: samples.min(10) as u64,
+        samples: samples as u64,
         iters: 0,
         elapsed_nanos: 0,
     };
     f(&mut b);
     match b.elapsed_nanos.checked_div(b.iters) {
         None => println!("{label}: no iterations recorded"),
-        Some(per_iter) => println!("{label}: {per_iter} ns/iter ({} iters)", b.iters),
+        Some(per_iter) => {
+            println!("{label}: {per_iter} ns/iter ({} iters)", b.iters);
+            RESULTS.lock().unwrap().push(BenchResult {
+                name: label.to_string(),
+                mean_ns: per_iter,
+                iters: b.iters,
+            });
+        }
     }
 }
 
@@ -154,5 +189,16 @@ mod tests {
     #[test]
     fn group_runs_all_targets() {
         benches();
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        let _ = take_results();
+        let mut c = Criterion::default();
+        c.bench_function("recorded", |b| b.iter(|| black_box(7u64 * 6)));
+        let results = take_results();
+        let r = results.iter().find(|r| r.name == "recorded").unwrap();
+        assert!(r.iters >= 1);
+        assert!(take_results().is_empty(), "drained");
     }
 }
