@@ -19,7 +19,10 @@
 //! numbers side by side.
 
 use confluence_bench::config::ExperimentConfig;
-use confluence_bench::runner::{run_linear_road, run_linear_road_realtime, PolicyKind};
+use confluence_bench::runner::{
+    run_linear_road, run_linear_road_realtime, run_linear_road_realtime_policy, PolicyKind,
+    RealtimePolicy,
+};
 use confluence_bench::{extensions, figures};
 use confluence_core::director::taxonomy;
 use confluence_linearroad::Workload;
@@ -66,6 +69,20 @@ fn main() {
         .cloned();
     if has("--fig5") && director_mode.is_some() {
         run_fig5_head_to_head(&config, director_mode.as_deref().unwrap());
+        return;
+    }
+    if has("--fig8") && director_mode.is_some() {
+        let policy: Option<String> = args
+            .iter()
+            .position(|a| a == "--policy")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        run_fig8_realtime(
+            &config,
+            director_mode.as_deref().unwrap(),
+            policy.as_deref(),
+            &write_csv,
+        );
         return;
     }
     if all || has("--fig5") {
@@ -182,6 +199,84 @@ fn run_fig5_head_to_head(config: &ExperimentConfig, mode: &str) {
     for run in &runs {
         println!("\nPer-actor metrics ({}):\n\n{}", run.label, run.metrics.render_table());
     }
+}
+
+/// `--fig8 --director pool[:N] [--policy fifo|rb|edf|qbs[:µs]]`: the
+/// figure-8 scheduler comparison in *wall-clock* form — the pool executor
+/// replays the fig8 workload in real time under each ready-queue policy
+/// and reports the toll-notification response-time distribution. With
+/// `--policy`, only that policy runs next to the FIFO control; otherwise
+/// all four run. Worker count defaults to 2 so the replay is actually
+/// overloaded (the point of a scheduling policy); `pool:N` overrides.
+fn run_fig8_realtime(
+    config: &ExperimentConfig,
+    mode: &str,
+    policy: Option<&str>,
+    write_csv: &dyn Fn(&str, String),
+) {
+    // Compress the timetable harder than fig5's head-to-head: the policies
+    // only separate once the ready queues actually back up.
+    const SPEEDUP: u64 = 200;
+    let workload = Workload::generate(config.workload());
+    let workers = match mode.split_once(':') {
+        Some(("pool", n)) => n.parse().expect("worker count after pool:"),
+        None if mode == "pool" => 2,
+        _ => panic!("unknown --director mode {mode:?} for --fig8 (expected pool[:N])"),
+    };
+    let policies: Vec<RealtimePolicy> = match policy {
+        Some(p) => {
+            let selected = RealtimePolicy::parse(p)
+                .unwrap_or_else(|| panic!("unknown --policy {p:?} (fifo|rb|edf|qbs[:µs])"));
+            if selected == RealtimePolicy::Fifo {
+                vec![selected]
+            } else {
+                vec![RealtimePolicy::Fifo, selected]
+            }
+        }
+        None => RealtimePolicy::all().to_vec(),
+    };
+    println!(
+        "Figure 8 workload, wall-clock pool executor ({workers} workers, \
+         timetable compressed {SPEEDUP}x), toll response times per ready-queue policy\n"
+    );
+    println!(
+        "{:<10}  {:>10}  {:>12}  {:>8}  {:>12}  {:>9}  {:>9}  {:>9}",
+        "policy", "firings", "routed", "tolls", "elapsed_us", "mean_ms", "p95_ms", "p99_ms"
+    );
+    let mut csv = String::from(
+        "policy,workers,speedup,firings,events_routed,tolls,elapsed_us,mean_ms,p95_ms,p99_ms\n",
+    );
+    for p in policies {
+        let run = run_linear_road_realtime_policy(Some(workers), p, &workload, SPEEDUP);
+        let mean_ms = run.toll_series.mean_secs() * 1e3;
+        let p95_ms = run.toll_series.percentile_secs(95.0) * 1e3;
+        let p99_ms = run.toll_series.percentile_secs(99.0) * 1e3;
+        println!(
+            "{:<10}  {:>10}  {:>12}  {:>8}  {:>12}  {:>9.2}  {:>9.2}  {:>9.2}",
+            p.label(),
+            run.firings,
+            run.events_routed,
+            run.toll_count,
+            run.elapsed.as_micros(),
+            mean_ms,
+            p95_ms,
+            p99_ms
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.3},{:.3},{:.3}\n",
+            p.label(),
+            workers,
+            SPEEDUP,
+            run.firings,
+            run.events_routed,
+            run.toll_count,
+            run.elapsed.as_micros(),
+            mean_ms,
+            p95_ms,
+            p99_ms
+        ));
+    }
+    write_csv("fig8_realtime.csv", csv);
 }
 
 /// Table 2: the realized actor-state conditions, printed from the living

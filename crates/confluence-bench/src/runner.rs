@@ -3,6 +3,9 @@
 use std::sync::Arc;
 
 use confluence_core::director::pool::PoolDirector;
+use confluence_core::director::pool_policy::{
+    Fifo as PoolFifo, OldestWave, PoolPolicy, Quantum, RateBased,
+};
 use confluence_core::director::threaded::ThreadedDirector;
 use confluence_core::director::Director;
 use confluence_core::telemetry::{MetricsRecorder, MetricsSnapshot, Telemetry};
@@ -194,10 +197,75 @@ pub fn run_linear_road_with(
     }
 }
 
+/// Ready-queue policy for the wall-clock pool executor (the STAFiLOS §3
+/// policies ported to the work-stealing pool, `--fig8 --director pool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealtimePolicy {
+    /// Arrival order (PR 3 behavior; the control).
+    Fifo,
+    /// Rate-Based (`gSel/gCost` from live statistics).
+    RateBased,
+    /// EDF on wave origins (oldest pending tuple first).
+    OldestWave,
+    /// Stride scheduling over the QBS Equation 1 allotments.
+    Quantum {
+        /// Basic quantum `b` in µs.
+        basic_quantum: u64,
+    },
+}
+
+impl RealtimePolicy {
+    /// Every policy at its default configuration, FIFO (the control)
+    /// first.
+    pub fn all() -> [RealtimePolicy; 4] {
+        [
+            RealtimePolicy::Fifo,
+            RealtimePolicy::RateBased,
+            RealtimePolicy::OldestWave,
+            RealtimePolicy::Quantum { basic_quantum: 1_000 },
+        ]
+    }
+
+    /// Parse a CLI spelling: `fifo`, `rb`, `edf`, `qbs`, or `qbs:<µs>`.
+    pub fn parse(s: &str) -> Option<RealtimePolicy> {
+        match s {
+            "fifo" => Some(RealtimePolicy::Fifo),
+            "rb" => Some(RealtimePolicy::RateBased),
+            "edf" => Some(RealtimePolicy::OldestWave),
+            "qbs" => Some(RealtimePolicy::Quantum { basic_quantum: 1_000 }),
+            _ => {
+                let bq = s.strip_prefix("qbs:")?.parse().ok()?;
+                Some(RealtimePolicy::Quantum { basic_quantum: bq })
+            }
+        }
+    }
+
+    /// Stable lower-case label (CSV/CLI).
+    pub fn label(&self) -> String {
+        match self {
+            RealtimePolicy::Fifo => "fifo".to_string(),
+            RealtimePolicy::RateBased => "rb".to_string(),
+            RealtimePolicy::OldestWave => "edf".to_string(),
+            RealtimePolicy::Quantum { basic_quantum } => format!("qbs:{basic_quantum}"),
+        }
+    }
+
+    /// Instantiate the pool policy.
+    pub fn build(&self) -> Arc<dyn PoolPolicy> {
+        match self {
+            RealtimePolicy::Fifo => Arc::new(PoolFifo),
+            RealtimePolicy::RateBased => Arc::new(RateBased),
+            RealtimePolicy::OldestWave => Arc::new(OldestWave),
+            RealtimePolicy::Quantum { basic_quantum } => Arc::new(Quantum::new(*basic_quantum)),
+        }
+    }
+}
+
 /// Results of one wall-clock Linear Road run under a PN executor
-/// (threaded or pooled) — the head-to-head `--fig5 --director` mode.
+/// (threaded or pooled) — the head-to-head `--fig5`/`--fig8 --director`
+/// modes.
 pub struct RealtimeRun {
-    /// Executor label (`threaded` or `pool-N`).
+    /// Executor label (`threaded`, `pool-N`, or `pool-N-<policy>`).
     pub label: String,
     /// Total successful firings.
     pub firings: u64,
@@ -205,6 +273,8 @@ pub struct RealtimeRun {
     pub events_routed: u64,
     /// Toll notifications produced.
     pub toll_count: usize,
+    /// Wall-clock response-time series at the TollNotification output.
+    pub toll_series: ResponseSeries,
     /// Wall-clock run time.
     pub elapsed: Micros,
     /// Per-actor (and, for the pool, per-worker) metrics.
@@ -220,6 +290,17 @@ pub fn run_linear_road_realtime(
     workload: &Workload,
     arrival_speedup: u64,
 ) -> RealtimeRun {
+    run_linear_road_realtime_policy(pool_workers, RealtimePolicy::Fifo, workload, arrival_speedup)
+}
+
+/// [`run_linear_road_realtime`] with an explicit pool ready-queue policy
+/// (ignored for the threaded executor, which has no ready queue).
+pub fn run_linear_road_realtime_policy(
+    pool_workers: Option<usize>,
+    policy: RealtimePolicy,
+    workload: &Workload,
+    arrival_speedup: u64,
+) -> RealtimeRun {
     let mut lr = build(
         workload,
         &LrOptions {
@@ -230,10 +311,21 @@ pub fn run_linear_road_realtime(
     .expect("workflow builds");
     let (label, mut director): (String, Box<dyn Director>) = match pool_workers {
         None => ("threaded".to_string(), Box::new(ThreadedDirector::new())),
-        Some(n) => (
-            format!("pool-{n}"),
-            Box::new(PoolDirector::new().with_workers(n)),
-        ),
+        Some(n) => {
+            let label = if policy == RealtimePolicy::Fifo {
+                format!("pool-{n}")
+            } else {
+                format!("pool-{n}-{}", policy.label())
+            };
+            (
+                label,
+                Box::new(
+                    PoolDirector::new()
+                        .with_workers(n)
+                        .with_policy_arc(policy.build()),
+                ),
+            )
+        }
     };
     let recorder = Arc::new(MetricsRecorder::for_workflow(&lr.workflow));
     director.instrument(Telemetry::new(recorder.clone()));
@@ -243,6 +335,7 @@ pub fn run_linear_road_realtime(
         firings: report.firings,
         events_routed: report.events_routed,
         toll_count: lr.toll_output.len(),
+        toll_series: ResponseSeries::new(lr.toll_output.latency_samples()),
         elapsed: report.elapsed,
         metrics: recorder.snapshot(),
     }
@@ -259,6 +352,26 @@ mod tests {
         assert_eq!(PolicyKind::Rb.label(), "RB");
         assert_eq!(PolicyKind::Pncwf.label(), "PNCWF");
         assert_eq!(PolicyKind::Fifo.label(), "FIFO");
+    }
+
+    #[test]
+    fn realtime_policy_parses_cli_spellings() {
+        assert_eq!(RealtimePolicy::parse("fifo"), Some(RealtimePolicy::Fifo));
+        assert_eq!(RealtimePolicy::parse("rb"), Some(RealtimePolicy::RateBased));
+        assert_eq!(RealtimePolicy::parse("edf"), Some(RealtimePolicy::OldestWave));
+        assert_eq!(
+            RealtimePolicy::parse("qbs"),
+            Some(RealtimePolicy::Quantum { basic_quantum: 1_000 })
+        );
+        assert_eq!(
+            RealtimePolicy::parse("qbs:5000"),
+            Some(RealtimePolicy::Quantum { basic_quantum: 5_000 })
+        );
+        assert_eq!(RealtimePolicy::parse("nope"), None);
+        assert_eq!(RealtimePolicy::parse("qbs:x"), None);
+        for p in RealtimePolicy::all() {
+            assert_eq!(RealtimePolicy::parse(&p.label()), Some(p), "round-trip");
+        }
     }
 
     #[test]

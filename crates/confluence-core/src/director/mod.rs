@@ -23,6 +23,7 @@ pub mod composite;
 pub mod ddf;
 pub mod de;
 pub mod pool;
+pub mod pool_policy;
 pub mod sdf;
 pub mod taxonomy;
 pub mod threaded;

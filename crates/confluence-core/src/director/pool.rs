@@ -7,8 +7,13 @@
 //! [`PoolDirector`] keeps the same continuous-workflow semantics but runs
 //! every actor as a *task* over a fixed pool of N worker threads:
 //!
-//! * each worker owns a ready deque and steals from the back of other
-//!   workers' deques when its own runs dry;
+//! * each worker owns a policy-ordered ready queue (a priority heap plus
+//!   a cache-warm LIFO slot, see
+//!   [`pool_policy`](super::pool_policy)) and steals the *best* entry
+//!   from other workers' heaps when its own runs dry;
+//! * the ordering is pluggable ([`PoolDirector::with_policy`]): FIFO (the
+//!   control), Rate-Based, EDF-on-wave-origins, and stride-scheduled
+//!   quantum allotments — the STAFiLOS §3 policies in wall-clock form;
 //! * an actor becomes ready when a window forms on one of its receivers —
 //!   the inbox raises an [`InboxWaker`] callback instead of waking a
 //!   parked actor thread;
@@ -26,7 +31,7 @@ use std::cell::Cell;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -37,11 +42,12 @@ use crate::channel::OnFull;
 use crate::error::{Error, Result};
 use crate::event::CwEvent;
 use crate::graph::{ActorId, PortRef, Workflow};
-use crate::receiver::InboxWaker;
-use crate::telemetry::{FireRecord, RunPhase, Telemetry, WorkerMetrics};
+use crate::receiver::{ActorInbox, InboxWaker};
+use crate::telemetry::{FireRecord, LiveStats, RunPhase, Telemetry, WorkerMetrics};
 use crate::time::{Micros, SharedClock, Timestamp, WallClock};
 use crate::wave::WaveTag;
 
+use super::pool_policy::{Fifo, PolicyView, PoolPolicy, ReadyEntry, ReadyQueue};
 use super::{Director, Fabric, QueueContext, RunReport, TryDeliver, RELIEF_PATIENCE};
 
 /// Idle workers and the timer re-check their wait conditions at least this
@@ -64,11 +70,13 @@ thread_local! {
     static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
-/// N workers over per-worker ready deques with stealing; one timer thread.
+/// N workers over per-worker policy-ordered ready queues with best-entry
+/// stealing; one timer thread.
 pub struct PoolDirector {
     workers: usize,
     clock: SharedClock,
     telemetry: Option<Telemetry>,
+    policy: Arc<dyn PoolPolicy>,
 }
 
 impl Default for PoolDirector {
@@ -79,13 +87,14 @@ impl Default for PoolDirector {
 
 impl PoolDirector {
     /// A pool sized to the machine (`available_parallelism`), on the wall
-    /// clock.
+    /// clock, with FIFO ready queues.
     pub fn new() -> Self {
         let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         PoolDirector {
             workers,
             clock: Arc::new(WallClock::new()),
             telemetry: None,
+            policy: Arc::new(Fifo),
         }
     }
 
@@ -101,9 +110,26 @@ impl PoolDirector {
         self
     }
 
+    /// Order the ready queues by `policy` instead of FIFO.
+    pub fn with_policy(self, policy: impl PoolPolicy + 'static) -> Self {
+        self.with_policy_arc(Arc::new(policy))
+    }
+
+    /// Shared-handle variant of [`PoolDirector::with_policy`], for
+    /// policies chosen at runtime.
+    pub fn with_policy_arc(mut self, policy: Arc<dyn PoolPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The configured worker count.
     pub fn worker_count(&self) -> usize {
         self.workers
+    }
+
+    /// The active ready-queue policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 }
 
@@ -111,8 +137,26 @@ impl PoolDirector {
 /// needed to decide *who runs next*, with no reference to the actors
 /// themselves (so inbox wakers can hold it without keeping the run alive).
 struct WakeHub {
-    /// One ready deque per worker.
-    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// One policy-ordered ready queue per worker.
+    queues: Vec<Mutex<ReadyQueue>>,
+    /// Ready-queue ordering policy.
+    policy: Arc<dyn PoolPolicy>,
+    /// Live statistics the priority keys are computed from.
+    live: Arc<LiveStats>,
+    /// Whether firings feed [`WakeHub::live`] (policy asked for stats).
+    feed_stats: bool,
+    /// Whether self-pushes may take the LIFO slot (policy choice).
+    use_lifo: bool,
+    /// Clock the priority keys timestamp against.
+    clock: SharedClock,
+    /// Per-actor source flag (sources are keyed specially).
+    is_source: Vec<bool>,
+    /// Per-actor inbox handles for oldest-pending-origin lookups. Weak:
+    /// the hub outlives the run inside inbox wakers and must not keep
+    /// the fabric alive.
+    inboxes: Vec<Weak<ActorInbox>>,
+    /// Monotone push sequence (FIFO tie-break within a priority key).
+    seq: AtomicU64,
     /// Per-actor readiness state machine (IDLE/QUEUED/RUNNING/RERUN).
     states: Vec<AtomicU8>,
     /// Per-destination-actor list of writer tasks parked on a full port.
@@ -135,9 +179,25 @@ struct WakeHub {
 }
 
 impl WakeHub {
-    fn new(actors: usize, workers: usize) -> Self {
+    fn new(
+        workers: usize,
+        policy: Arc<dyn PoolPolicy>,
+        live: Arc<LiveStats>,
+        clock: SharedClock,
+        is_source: Vec<bool>,
+        inboxes: Vec<Weak<ActorInbox>>,
+    ) -> Self {
+        let actors = inboxes.len();
         WakeHub {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(ReadyQueue::new())).collect(),
+            feed_stats: policy.needs_stats(),
+            use_lifo: policy.use_lifo_slot(),
+            policy,
+            live,
+            clock,
+            is_source,
+            inboxes,
+            seq: AtomicU64::new(0),
             states: (0..actors).map(|_| AtomicU8::new(IDLE)).collect(),
             space_waiters: (0..actors).map(|_| Mutex::new(Vec::new())).collect(),
             waiting_writers: AtomicUsize::new(0),
@@ -161,7 +221,7 @@ impl WakeHub {
         loop {
             match st.compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
-                    self.push(actor);
+                    self.push(actor, false);
                     return;
                 }
                 Err(QUEUED) | Err(RERUN) => return,
@@ -178,33 +238,56 @@ impl WakeHub {
         }
     }
 
-    fn push(&self, actor: usize) {
+    /// Current policy key for `actor` (push time and lazy re-key on pop).
+    fn key_of(&self, actor: usize) -> u64 {
+        let oldest_origin = self.inboxes[actor]
+            .upgrade()
+            .and_then(|inbox| inbox.oldest_origin());
+        let view = PolicyView {
+            now: self.clock.now(),
+            is_source: self.is_source[actor],
+            oldest_origin,
+            live: &self.live,
+        };
+        self.policy.key(actor, &view)
+    }
+
+    /// Queue `actor` on this worker's queue (or round-robin from off-pool
+    /// threads). `hot` marks a self-push right after the actor ran, which
+    /// may take the cache-warm LIFO slot if the policy allows it.
+    fn push(&self, actor: usize, hot: bool) {
         let w = WORKER_ID.with(|c| c.get());
         let idx = if w < self.queues.len() {
             w
         } else {
             self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len()
         };
+        let entry = ReadyEntry {
+            key: self.key_of(actor),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            actor,
+        };
         let depth = {
             let mut q = self.queues[idx].lock();
-            q.push_back(actor);
+            q.push(entry, hot && self.use_lifo);
             q.len() as u64
         };
         self.queue_max[idx].fetch_max(depth, Ordering::Relaxed);
         self.idle_cond.notify_one();
     }
 
-    /// Pop ready work for worker `w`: own deque front first, then steal
-    /// from the back of the others. Returns `(actor, stolen)`.
+    /// Pop ready work for worker `w`: its own best entry first (LIFO slot,
+    /// then the heap minimum with lazy re-keying), then steal the *best*
+    /// heap entry from the other workers. Returns `(actor, stolen)`.
     fn pop(&self, w: usize) -> Option<(usize, bool)> {
-        if let Some(a) = self.queues[w].lock().pop_front() {
-            return Some((a, false));
+        if let Some(e) = self.queues[w].lock().pop_with(|a| self.key_of(a)) {
+            return Some((e.actor, false));
         }
         let n = self.queues.len();
         for i in 1..n {
             let victim = (w + i) % n;
-            if let Some(a) = self.queues[victim].lock().pop_back() {
-                return Some((a, true));
+            if let Some(e) = self.queues[victim].lock().steal_best() {
+                return Some((e.actor, true));
             }
         }
         None
@@ -342,7 +425,24 @@ impl Director for PoolDirector {
         fabric.set_blocking(false);
         let n_actors = workflow.actor_count();
         let workers = self.workers.max(1);
-        let hub = Arc::new(WakeHub::new(n_actors, workers));
+        self.policy.prepare(workflow);
+        let live = Arc::new(LiveStats::new(workflow));
+        let source_flags: Vec<bool> = workflow
+            .actor_ids()
+            .map(|id| workflow.node(id).is_source)
+            .collect();
+        let inbox_handles: Vec<Weak<ActorInbox>> = workflow
+            .actor_ids()
+            .map(|id| Arc::downgrade(fabric.inbox(id)))
+            .collect();
+        let hub = Arc::new(WakeHub::new(
+            workers,
+            self.policy.clone(),
+            live,
+            self.clock.clone(),
+            source_flags,
+            inbox_handles,
+        ));
         for id in workflow.actor_ids() {
             fabric.inbox(id).set_waker(Arc::new(PoolWaker {
                 hub: hub.clone(),
@@ -524,7 +624,8 @@ fn run_actor(shared: &Arc<PoolShared>, w: usize, actor: usize) {
         Some(StepOutcome::Requeue) => {
             drop(task);
             hub.states[actor].store(QUEUED, Ordering::Release);
-            hub.push(actor);
+            // A self-push right after running: cache-warm LIFO candidate.
+            hub.push(actor, true);
         }
         Some(StepOutcome::Idle) | Some(StepOutcome::Parked) => {
             drop(task);
@@ -534,7 +635,7 @@ fn run_actor(shared: &Arc<PoolShared>, w: usize, actor: usize) {
             {
                 // A wakeup arrived mid-step (state is RERUN): honor it.
                 hub.states[actor].store(QUEUED, Ordering::Release);
-                hub.push(actor);
+                hub.push(actor, false);
             }
         }
         Some(StepOutcome::Finish) => {
@@ -639,13 +740,18 @@ fn step_source(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<St
         shared.routed.fetch_add(expired, Ordering::Relaxed);
     }
     if fired {
+        let ended = clock.now();
+        let busy = ended.since(fire_start);
+        if hub.feed_stats {
+            hub.live.record_fire(task.id.0, busy, 0, tokens_out, None);
+        }
+        hub.policy.on_fire(task.id.0, busy);
         if let Some(t) = &shared.tele {
-            let ended = clock.now();
             t.observer.on_fire_end(&FireRecord {
                 actor: task.id,
                 started: fire_start,
                 ended,
-                busy: ended.since(fire_start),
+                busy,
                 events_in: 0,
                 tokens_out,
                 origin: None,
@@ -704,13 +810,20 @@ fn step_internal(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<
                 shared.routed.fetch_add(expired, Ordering::Relaxed);
             }
             if fired {
+                let ended = clock.now();
+                let busy = ended.since(fire_start);
+                if hub.feed_stats {
+                    let wait = origin.map(|o| ended.since(o));
+                    hub.live
+                        .record_fire(task.id.0, busy, events_in, tokens_out, wait);
+                }
+                hub.policy.on_fire(task.id.0, busy);
                 if let Some(t) = &shared.tele {
-                    let ended = clock.now();
                     t.observer.on_fire_end(&FireRecord {
                         actor: task.id,
                         started: fire_start,
                         ended,
-                        busy: ended.since(fire_start),
+                        busy,
                         events_in,
                         tokens_out,
                         origin,
@@ -1099,5 +1212,45 @@ mod tests {
         assert_eq!(d.worker_count(), 1, "clamped to at least one worker");
         let d = PoolDirector::new().with_workers(7);
         assert_eq!(d.worker_count(), 7);
+    }
+
+    #[test]
+    fn every_policy_runs_the_pipeline_to_completion() {
+        use super::super::pool_policy::{OldestWave, Quantum, RateBased};
+        let mk = |policy: Arc<dyn super::super::pool_policy::PoolPolicy>| {
+            let c = Collector::new();
+            let mut b = WorkflowBuilder::new("pipeline");
+            let s = b.add_actor("src", VecSource::new((0..10).map(Token::Int).collect()));
+            let a = b.add_actor("inc", AddOne);
+            let k = b.add_actor("sink", c.actor());
+            b.set_priority(a, 10);
+            b.set_priority(k, 5);
+            b.connect(s, "out", a, "in").unwrap();
+            b.connect(a, "out", k, "in").unwrap();
+            let mut wf = b.build().unwrap();
+            let mut d = PoolDirector::new().with_workers(2).with_policy_arc(policy);
+            let report = d.run(&mut wf).unwrap();
+            (c.tokens(), report)
+        };
+        for (name, policy) in [
+            ("rb", Arc::new(RateBased) as Arc<dyn super::super::pool_policy::PoolPolicy>),
+            ("edf", Arc::new(OldestWave)),
+            ("qbs", Arc::new(Quantum::default())),
+        ] {
+            let (tokens, report) = mk(policy);
+            assert_eq!(
+                tokens,
+                (1..=10).map(Token::Int).collect::<Vec<_>>(),
+                "policy {name} must not reorder a linear pipeline"
+            );
+            assert_eq!(report.events_routed, 20, "policy {name}");
+        }
+    }
+
+    #[test]
+    fn policy_name_is_exposed() {
+        assert_eq!(PoolDirector::new().policy_name(), "fifo");
+        let d = PoolDirector::new().with_policy(super::super::pool_policy::OldestWave);
+        assert_eq!(d.policy_name(), "edf");
     }
 }

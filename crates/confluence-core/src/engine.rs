@@ -30,6 +30,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::channel::ChannelPolicy;
+use crate::director::pool::PoolDirector;
+use crate::director::pool_policy::PoolPolicy;
 use crate::director::threaded::ThreadedDirector;
 use crate::director::{Director, RunReport};
 use crate::error::Result;
@@ -124,6 +126,11 @@ pub struct Engine {
     extra_observers: Vec<Arc<dyn Observer>>,
     recorder: Arc<MetricsRecorder>,
     instrumented: bool,
+    /// Pool configuration memo: `with_workers`/`with_pool_policy` compose
+    /// (either order) by rebuilding one `PoolDirector` from both fields.
+    /// Cleared when an explicit director is installed.
+    pool_workers: Option<usize>,
+    pool_policy: Option<Arc<dyn PoolPolicy>>,
 }
 
 /// The handle a fully-configured [`Engine`] builder chain yields; it *is*
@@ -141,6 +148,8 @@ impl Engine {
             extra_observers: Vec::new(),
             recorder,
             instrumented: false,
+            pool_workers: None,
+            pool_policy: None,
         }
     }
 
@@ -149,6 +158,8 @@ impl Engine {
     pub fn with_director(mut self, director: impl Director + 'static) -> RunHandle {
         self.director = Box::new(director);
         self.instrumented = false;
+        self.pool_workers = None;
+        self.pool_policy = None;
         self
     }
 
@@ -157,14 +168,50 @@ impl Engine {
     pub fn with_boxed_director(mut self, director: Box<dyn Director>) -> RunHandle {
         self.director = director;
         self.instrumented = false;
+        self.pool_workers = None;
+        self.pool_policy = None;
         self
     }
 
     /// Execute on the pooled work-stealing director with `workers` worker
-    /// threads (shorthand for `with_director(PoolDirector::new()
-    /// .with_workers(n))`).
-    pub fn with_workers(self, workers: usize) -> RunHandle {
-        self.with_director(crate::director::pool::PoolDirector::new().with_workers(workers))
+    /// threads. Composes with [`Engine::with_pool_policy`] in either
+    /// order.
+    pub fn with_workers(mut self, workers: usize) -> RunHandle {
+        self.pool_workers = Some(workers);
+        self.rebuild_pool();
+        self
+    }
+
+    /// Execute on the pooled work-stealing director with its ready queues
+    /// ordered by `policy` (see
+    /// [`pool_policy`](crate::director::pool_policy): FIFO, Rate-Based,
+    /// EDF on wave origins, or stride-scheduled quantum allotments).
+    /// Composes with [`Engine::with_workers`] in either order.
+    pub fn with_pool_policy(mut self, policy: impl PoolPolicy + 'static) -> RunHandle {
+        self.pool_policy = Some(Arc::new(policy));
+        self.rebuild_pool();
+        self
+    }
+
+    /// Shared-handle variant of [`Engine::with_pool_policy`], for policies
+    /// chosen at runtime.
+    pub fn with_pool_policy_arc(mut self, policy: Arc<dyn PoolPolicy>) -> RunHandle {
+        self.pool_policy = Some(policy);
+        self.rebuild_pool();
+        self
+    }
+
+    /// Reinstall the pool director from the worker/policy memo.
+    fn rebuild_pool(&mut self) {
+        let mut pool = PoolDirector::new();
+        if let Some(workers) = self.pool_workers {
+            pool = pool.with_workers(workers);
+        }
+        if let Some(policy) = &self.pool_policy {
+            pool = pool.with_policy_arc(policy.clone());
+        }
+        self.director = Box::new(pool);
+        self.instrumented = false;
     }
 
     /// Attach an additional [`Observer`]; hooks fan out to every attached

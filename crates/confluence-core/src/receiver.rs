@@ -56,7 +56,9 @@ pub enum InboxPop {
 
 #[derive(Debug)]
 struct InboxState {
-    windows: VecDeque<(usize, Window)>,
+    /// Ready windows with each window's earliest wave-origin (µs,
+    /// `u64::MAX` when the window carries no events) cached at push time.
+    windows: VecDeque<(usize, u64, Window)>,
     open_ports: usize,
     /// Formed windows currently queued, per input port (the occupancy that
     /// bounded channel policies meter).
@@ -72,6 +74,14 @@ impl InboxState {
     }
 }
 
+/// Cached earliest origin of a window about to be queued (µs).
+fn origin_key(window: &Window) -> u64 {
+    window
+        .earliest_origin()
+        .map(|t| t.as_micros())
+        .unwrap_or(u64::MAX)
+}
+
 /// The per-actor ready queue of formed windows.
 pub struct ActorInbox {
     state: Mutex<InboxState>,
@@ -82,6 +92,11 @@ pub struct ActorInbox {
     /// Shared fabric-wide progress counter, bumped on every push and pop.
     /// The no-progress detector behind Parks-style deadlock relief reads it.
     progress: Arc<AtomicU64>,
+    /// Earliest wave-origin (µs) of the window at the queue front —
+    /// `u64::MAX` when no window is pending. Maintained under the state
+    /// lock, readable without it: the O(1) staleness signal deadline-aware
+    /// pool policies key on.
+    oldest: AtomicU64,
     /// Optional task-executor hook, set once before the run starts.
     waker: std::sync::OnceLock<Arc<dyn InboxWaker>>,
 }
@@ -112,6 +127,7 @@ impl ActorInbox {
             cond: Condvar::new(),
             space: Condvar::new(),
             progress,
+            oldest: AtomicU64::new(u64::MAX),
             waker: std::sync::OnceLock::new(),
         })
     }
@@ -134,11 +150,30 @@ impl ActorInbox {
         }
     }
 
+    /// Re-publish the front window's cached origin (call with the state
+    /// lock held, after any queue mutation).
+    fn refresh_oldest(&self, st: &InboxState) {
+        let front = st.windows.front().map(|(_, o, _)| *o).unwrap_or(u64::MAX);
+        self.oldest.store(front, Ordering::Relaxed);
+    }
+
+    /// Earliest wave-origin among the events of the oldest pending window
+    /// (the one the next firing will consume), or `None` when the inbox is
+    /// empty or the window carries no events. O(1): the origin is cached
+    /// at push time and published through an atomic.
+    pub fn oldest_origin(&self) -> Option<Timestamp> {
+        match self.oldest.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            us => Some(Timestamp(us)),
+        }
+    }
+
     /// Enqueue a formed window from input port `port`.
     pub fn push(&self, port: usize, window: Window) {
         let mut st = self.state.lock();
         *st.depth_slot(port) += 1;
-        st.windows.push_back((port, window));
+        st.windows.push_back((port, origin_key(&window), window));
+        self.refresh_oldest(&st);
         drop(st);
         self.progress.fetch_add(1, Ordering::Relaxed);
         self.cond.notify_one();
@@ -155,8 +190,10 @@ impl ActorInbox {
         let mut st = self.state.lock();
         *st.depth_slot(port) += windows.len();
         for w in windows {
-            st.windows.push_back((port, w));
+            let key = origin_key(&w);
+            st.windows.push_back((port, key, w));
         }
+        self.refresh_oldest(&st);
         drop(st);
         self.progress.fetch_add(1, Ordering::Relaxed);
         self.cond.notify_one();
@@ -167,16 +204,17 @@ impl ActorInbox {
     pub fn try_pop(&self) -> Option<(usize, Window)> {
         let mut st = self.state.lock();
         let popped = st.windows.pop_front();
-        if let Some((port, _)) = &popped {
+        if let Some((port, _, _)) = &popped {
             let port = *port;
             let slot = st.depth_slot(port);
             *slot = slot.saturating_sub(1);
+            self.refresh_oldest(&st);
             drop(st);
             self.progress.fetch_add(1, Ordering::Relaxed);
             self.space.notify_all();
             self.wake_space();
         }
-        popped
+        popped.map(|(port, _, w)| (port, w))
     }
 
     /// Blocking pop with an optional wall-clock timeout (used by the
@@ -185,9 +223,10 @@ impl ActorInbox {
     pub fn pop_blocking(&self, timeout: Option<std::time::Duration>) -> InboxPop {
         let mut st = self.state.lock();
         loop {
-            if let Some((port, w)) = st.windows.pop_front() {
+            if let Some((port, _, w)) = st.windows.pop_front() {
                 let slot = st.depth_slot(port);
                 *slot = slot.saturating_sub(1);
+                self.refresh_oldest(&st);
                 drop(st);
                 self.progress.fetch_add(1, Ordering::Relaxed);
                 self.space.notify_all();
@@ -227,10 +266,11 @@ impl ActorInbox {
     /// Remove (shed) the oldest queued window belonging to `port`.
     pub fn drop_oldest(&self, port: usize) -> Option<Window> {
         let mut st = self.state.lock();
-        let pos = st.windows.iter().position(|(p, _)| *p == port)?;
-        let (_, w) = st.windows.remove(pos)?;
+        let pos = st.windows.iter().position(|(p, _, _)| *p == port)?;
+        let (_, _, w) = st.windows.remove(pos)?;
         let slot = st.depth_slot(port);
         *slot = slot.saturating_sub(1);
+        self.refresh_oldest(&st);
         drop(st);
         self.progress.fetch_add(1, Ordering::Relaxed);
         self.space.notify_all();
@@ -680,6 +720,24 @@ mod tests {
         assert_eq!(shed.len(), 1);
         assert_eq!(inbox.port_depth(1), 0);
         assert!(inbox.drop_oldest(1).is_none());
+    }
+
+    #[test]
+    fn oldest_origin_tracks_the_queue_front() {
+        let inbox = ActorInbox::new(1);
+        assert_eq!(inbox.oldest_origin(), None, "empty inbox has no origin");
+        let r = PortReceiver::new(WindowSpec::each_event(), inbox.clone(), 0, 1).unwrap();
+        r.put(ev(1, 100), Timestamp(100)).unwrap();
+        r.put(ev(2, 50), Timestamp(100)).unwrap();
+        assert_eq!(
+            inbox.oldest_origin(),
+            Some(Timestamp(100)),
+            "front window's origin, not the global min"
+        );
+        inbox.try_pop().unwrap();
+        assert_eq!(inbox.oldest_origin(), Some(Timestamp(50)));
+        inbox.try_pop().unwrap();
+        assert_eq!(inbox.oldest_origin(), None);
     }
 
     #[test]

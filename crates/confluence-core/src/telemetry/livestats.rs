@@ -1,0 +1,328 @@
+//! Lock-cheap live statistics for wall-clock scheduling.
+//!
+//! The STAFiLOS simulator feeds its policies from a `StatsModule` it owns
+//! and mutates between firings. The pool executor has no such single
+//! thread: firings complete concurrently on every worker, and priority
+//! keys are computed on the push/pop hot path. [`LiveStats`] is the
+//! atomics-only equivalent — per-actor EMA fire cost, cumulative
+//! selectivity counters, and EMA queue-wait age, sampled from the same
+//! numbers the recorder hooks see — with the Rate-Based global priorities
+//! cached and refreshed lazily so the hot path is a plain atomic load.
+//!
+//! The global selectivity/cost propagation is the shared
+//! [`estimator`](super::estimator) core, so the simulator and the real
+//! executor rank actors identically from identical local statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::graph::Workflow;
+use crate::telemetry::{estimator, FireRecord, Observer};
+use crate::time::Micros;
+
+/// Smoothing factor of the exponential moving averages (1/8, the classic
+/// TCP RTT estimator weight): `ema' = ema + ALPHA·(sample − ema)`.
+pub const EMA_ALPHA: f64 = 0.125;
+
+/// Cached rate priorities are recomputed at most once per this many
+/// recorded firings (the refresh walks the whole topology).
+const REFRESH_EVERY: u64 = 64;
+
+/// One actor's live counters. All `f64` values live in `AtomicU64` bit
+/// patterns; cumulative counters are plain integers.
+struct ActorLive {
+    /// EMA of the wall-clock fire cost, µs (f64 bits; 0 ⇒ unseeded).
+    ema_cost: AtomicU64,
+    /// EMA of the triggering wave's queue-wait age at fire end, µs.
+    ema_wait: AtomicU64,
+    /// Completed firings.
+    fires: AtomicU64,
+    /// Cumulative wall-clock cost, µs.
+    total_cost: AtomicU64,
+    /// Cumulative events consumed.
+    events_in: AtomicU64,
+    /// Cumulative tokens produced.
+    events_out: AtomicU64,
+    /// Cached Rate-Based priority `gSel/gCost` (f64 bits).
+    cached_rate: AtomicU64,
+}
+
+impl ActorLive {
+    fn new() -> Self {
+        ActorLive {
+            ema_cost: AtomicU64::new(0f64.to_bits()),
+            ema_wait: AtomicU64::new(0f64.to_bits()),
+            fires: AtomicU64::new(0),
+            total_cost: AtomicU64::new(0),
+            events_in: AtomicU64::new(0),
+            events_out: AtomicU64::new(0),
+            cached_rate: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Advance an EMA cell: seed with the first sample, blend afterwards.
+/// Lossy under contention (a concurrent update may be overwritten), which
+/// is fine for a smoothed estimate.
+fn ema_update(cell: &AtomicU64, sample: f64, seeded: bool) {
+    let prev = f64::from_bits(cell.load(Ordering::Relaxed));
+    let next = if seeded {
+        prev + EMA_ALPHA * (sample - prev)
+    } else {
+        sample
+    };
+    cell.store(next.to_bits(), Ordering::Relaxed);
+}
+
+/// Live per-actor statistics for priority computation under wall-clock
+/// executors. Shareable across workers; every operation is a handful of
+/// relaxed atomic ops.
+pub struct LiveStats {
+    actors: Vec<ActorLive>,
+    /// Downstream actor indices per actor (workflow topology).
+    downstream: Vec<Vec<usize>>,
+    /// Firings recorded since the cached rate priorities were refreshed.
+    since_refresh: AtomicU64,
+}
+
+impl LiveStats {
+    /// Fresh statistics for the given workflow's topology.
+    pub fn new(workflow: &Workflow) -> Self {
+        let downstream = workflow
+            .actor_ids()
+            .map(|id| {
+                workflow
+                    .downstream_actors(id)
+                    .into_iter()
+                    .map(|d| d.index())
+                    .collect()
+            })
+            .collect();
+        Self::with_downstream(downstream)
+    }
+
+    /// Fresh statistics over an explicit downstream topology (tests).
+    pub fn with_downstream(downstream: Vec<Vec<usize>>) -> Self {
+        LiveStats {
+            actors: (0..downstream.len()).map(|_| ActorLive::new()).collect(),
+            downstream,
+            since_refresh: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of actors tracked.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether no actors are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Record one completed firing: wall cost, events consumed, tokens
+    /// produced, and (for internal actors) the triggering wave's age at
+    /// completion. Refreshes the cached rate priorities every
+    /// [`REFRESH_EVERY`] firings.
+    pub fn record_fire(
+        &self,
+        actor: usize,
+        cost: Micros,
+        events_in: u64,
+        tokens_out: u64,
+        wait_age: Option<Micros>,
+    ) {
+        let Some(a) = self.actors.get(actor) else {
+            return;
+        };
+        let seeded = a.fires.fetch_add(1, Ordering::Relaxed) > 0;
+        ema_update(&a.ema_cost, cost.as_micros() as f64, seeded);
+        if let Some(age) = wait_age {
+            // The wait EMA seeds on its own first sample: source firings
+            // carry no wave age and must not pin the seed at zero.
+            let wait_seeded = f64::from_bits(a.ema_wait.load(Ordering::Relaxed)) > 0.0;
+            ema_update(&a.ema_wait, age.as_micros() as f64, wait_seeded);
+        }
+        a.total_cost.fetch_add(cost.as_micros(), Ordering::Relaxed);
+        a.events_in.fetch_add(events_in, Ordering::Relaxed);
+        a.events_out.fetch_add(tokens_out, Ordering::Relaxed);
+        if self.since_refresh.fetch_add(1, Ordering::Relaxed) + 1 >= REFRESH_EVERY {
+            self.since_refresh.store(0, Ordering::Relaxed);
+            self.refresh_rate_priorities();
+        }
+    }
+
+    /// EMA wall-clock fire cost, µs (0 before any firing).
+    pub fn ema_cost(&self, actor: usize) -> f64 {
+        f64::from_bits(self.actors[actor].ema_cost.load(Ordering::Relaxed))
+    }
+
+    /// EMA queue-wait age of triggering waves, µs (0 before any sample).
+    pub fn ema_wait(&self, actor: usize) -> f64 {
+        f64::from_bits(self.actors[actor].ema_wait.load(Ordering::Relaxed))
+    }
+
+    /// Completed firings recorded for `actor`.
+    pub fn fires(&self, actor: usize) -> u64 {
+        self.actors[actor].fires.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative local selectivity (events out / events in; 1.0 before
+    /// any input — the neutral assumption, matching the simulator).
+    pub fn selectivity(&self, actor: usize) -> f64 {
+        let a = &self.actors[actor];
+        let ins = a.events_in.load(Ordering::Relaxed);
+        if ins == 0 {
+            1.0
+        } else {
+            a.events_out.load(Ordering::Relaxed) as f64 / ins as f64
+        }
+    }
+
+    /// Mean cost per consumed event, µs (falls back to mean invocation
+    /// cost when nothing was consumed — again matching the simulator).
+    pub fn cost_per_event(&self, actor: usize) -> f64 {
+        let a = &self.actors[actor];
+        let total = a.total_cost.load(Ordering::Relaxed) as f64;
+        let ins = a.events_in.load(Ordering::Relaxed);
+        if ins == 0 {
+            let fires = a.fires.load(Ordering::Relaxed);
+            if fires == 0 {
+                0.0
+            } else {
+                total / fires as f64
+            }
+        } else {
+            total / ins as f64
+        }
+    }
+
+    /// The cached Rate-Based priority `Pr(A) = gSel/gCost` (infinite until
+    /// costs are observed, so fresh actors rank first). Refreshed lazily
+    /// by [`LiveStats::record_fire`].
+    pub fn rate_priority(&self, actor: usize) -> f64 {
+        f64::from_bits(self.actors[actor].cached_rate.load(Ordering::Relaxed))
+    }
+
+    /// Recompute every actor's Rate-Based priority from the current local
+    /// statistics through the shared estimator core.
+    pub fn refresh_rate_priorities(&self) {
+        let sel = |i: usize| self.selectivity(i);
+        let cost = |i: usize| self.cost_per_event(i);
+        for (i, a) in self.actors.iter().enumerate() {
+            let pr = estimator::rate_priority(i, &cost, &sel, &self.downstream);
+            a.cached_rate.store(pr.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+impl Observer for LiveStats {
+    fn on_fire_end(&self, record: &FireRecord) {
+        if !record.fired {
+            return;
+        }
+        let wait = record.origin.map(|o| record.ended.since(o));
+        self.record_fire(
+            record.actor.0,
+            record.busy,
+            record.events_in,
+            record.tokens_out,
+            wait,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ActorId;
+    use crate::telemetry::FireRecord;
+    use crate::time::Timestamp;
+
+    fn chain3() -> LiveStats {
+        // 0 → 1 → 2.
+        LiveStats::with_downstream(vec![vec![1], vec![2], vec![]])
+    }
+
+    #[test]
+    fn ema_cost_matches_hand_computed_sequence() {
+        let s = chain3();
+        // Samples 100, 200, 60 with α = 1/8, seeded by the first:
+        // 100 → 100 + 0.125·(200−100) = 112.5 → 112.5 + 0.125·(60−112.5).
+        s.record_fire(1, Micros(100), 1, 1, None);
+        assert_eq!(s.ema_cost(1), 100.0);
+        s.record_fire(1, Micros(200), 1, 1, None);
+        assert_eq!(s.ema_cost(1), 112.5);
+        s.record_fire(1, Micros(60), 1, 1, None);
+        assert_eq!(s.ema_cost(1), 112.5 + 0.125 * (60.0 - 112.5));
+        assert_eq!(s.fires(1), 3);
+    }
+
+    #[test]
+    fn ema_wait_seeds_independently_of_cost() {
+        let s = chain3();
+        // Two firings without a wave age (source-like), then aged ones.
+        s.record_fire(1, Micros(10), 1, 1, None);
+        s.record_fire(1, Micros(10), 1, 1, None);
+        assert_eq!(s.ema_wait(1), 0.0);
+        s.record_fire(1, Micros(10), 1, 1, Some(Micros(1_000)));
+        assert_eq!(s.ema_wait(1), 1_000.0, "first age seeds the wait EMA");
+        s.record_fire(1, Micros(10), 1, 1, Some(Micros(2_000)));
+        assert_eq!(s.ema_wait(1), 1_000.0 + 0.125 * (2_000.0 - 1_000.0));
+    }
+
+    #[test]
+    fn selectivity_and_cost_per_event_are_cumulative() {
+        let s = chain3();
+        assert_eq!(s.selectivity(0), 1.0, "neutral before input");
+        s.record_fire(1, Micros(100), 4, 2, None);
+        s.record_fire(1, Micros(300), 4, 2, None);
+        assert_eq!(s.selectivity(1), 0.5);
+        assert_eq!(s.cost_per_event(1), 50.0, "400µs over 8 events");
+    }
+
+    #[test]
+    fn rate_priorities_match_the_simulator_math() {
+        let s = chain3();
+        // 1: 10µs/ev sel 0.5; 2 (terminal): 5µs/ev.
+        s.record_fire(1, Micros(100), 10, 5, None);
+        s.record_fire(2, Micros(50), 10, 0, None);
+        s.refresh_rate_priorities();
+        // gCost(2) = 5, gSel(2) = 1 → Pr = 0.2.
+        assert_eq!(s.rate_priority(2), 1.0 / 5.0);
+        // gCost(1) = 10 + 0.5·5 = 12.5, gSel(1) = 0.5 → Pr = 0.04.
+        assert_eq!(s.rate_priority(1), 0.5 / 12.5);
+        // 0 never fired: cost 0 at itself but downstream costs propagate;
+        // gCost(0) = 0 + 1·12.5 = 12.5, gSel(0) = 1·0.5.
+        assert_eq!(s.rate_priority(0), 0.5 / 12.5);
+    }
+
+    #[test]
+    fn observer_hook_feeds_the_sampler() {
+        let s = chain3();
+        s.on_fire_end(&FireRecord {
+            actor: ActorId(1),
+            started: Timestamp(1_000),
+            ended: Timestamp(1_200),
+            busy: Micros(200),
+            events_in: 2,
+            tokens_out: 1,
+            origin: Some(Timestamp(100)),
+            fired: true,
+        });
+        assert_eq!(s.fires(1), 1);
+        assert_eq!(s.ema_cost(1), 200.0);
+        assert_eq!(s.ema_wait(1), 1_100.0, "ended − origin");
+        // Non-firings leave everything untouched.
+        s.on_fire_end(&FireRecord {
+            actor: ActorId(1),
+            started: Timestamp(2_000),
+            ended: Timestamp(2_001),
+            busy: Micros(1),
+            events_in: 0,
+            tokens_out: 0,
+            origin: None,
+            fired: false,
+        });
+        assert_eq!(s.fires(1), 1);
+    }
+}

@@ -18,8 +18,11 @@
 //! * [`RunControl`] / [`Telemetry`] — the cooperative-stop handle the
 //!   [`Engine`](crate::engine::Engine) uses for `run_until`.
 
+pub mod estimator;
+mod livestats;
 mod recorder;
 
+pub use livestats::{LiveStats, EMA_ALPHA};
 pub use recorder::{
     ActorMetrics, HistogramSnapshot, LatencyHistogram, MetricsRecorder, MetricsSnapshot,
 };

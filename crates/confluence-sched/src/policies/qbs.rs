@@ -73,15 +73,10 @@ impl QbsScheduler {
     }
 
     /// Equation 1: the quantum allotted to priority `p` per
-    /// re-quantification.
+    /// re-quantification (delegates to the shared estimator core so the
+    /// wall-clock Quantum pool policy uses the identical allotments).
     pub fn allotment(&self, p: i32) -> i64 {
-        let b = self.basic_quantum as i64;
-        let head = (40 - p as i64).max(1);
-        if p >= 20 {
-            head * b
-        } else {
-            head * 4 * b
-        }
+        confluence_core::telemetry::estimator::qbs_allotment(p, self.basic_quantum)
     }
 
     fn activate(&mut self, a: usize) {
@@ -431,6 +426,49 @@ mod tests {
             }
         }
         assert!(low_ran, "the low-priority actor must eventually run");
+    }
+
+    /// Fig. 7 regression: at a large basic quantum (b = 5000µs) the
+    /// Equation-1 allotments dwarf per-window firing costs, so a busy
+    /// high-priority actor never exhausts its quantum mid-burst and QBS
+    /// degenerates to *strict priority* — the urgent class monopolizes
+    /// the scheduler until its burst drains. A small quantum forces the
+    /// exhaustion/re-quantification interleaving that is the whole point
+    /// of QBS. This pins the divergence between the b=5000 and small-b
+    /// curves of Figure 7.
+    #[test]
+    fn fig7_large_quantum_degenerates_to_strict_priority() {
+        // Serve a 100-window urgent burst (~1ms per window) next to one
+        // queued low-priority window; count urgent fires before the
+        // low-priority actor first gets the CPU.
+        let urgent_fires_before_lazy = |basic_quantum: u64| -> usize {
+            let mut q = QbsScheduler::new(basic_quantum, 1_000_000);
+            q.init(&infos());
+            let s = stats();
+            q.on_enqueue(1, Timestamp::ZERO); // urgent, p=5
+            q.on_enqueue(3, Timestamp::ZERO); // lazy, p=25
+            let mut remaining = 100usize;
+            let mut fires = 0usize;
+            loop {
+                match q.next_actor() {
+                    Some(1) => {
+                        remaining -= 1;
+                        fires += 1;
+                        q.after_fire(1, Micros(1_000), remaining, &s);
+                    }
+                    Some(3) => return fires,
+                    Some(_) => unreachable!("no other actor has work"),
+                    None => assert!(q.end_iteration(&s), "work remains"),
+                }
+            }
+        };
+        // b=5000µs: allotment (40−5)·4·5000 = 700ms ≫ the 100ms burst,
+        // so the quantum never runs out and the lazy actor waits for the
+        // entire burst — strict priority.
+        assert_eq!(urgent_fires_before_lazy(5_000), 100);
+        // b=100µs: allotment 14ms = 14 fires, then exhaustion hands the
+        // CPU to the lazy actor mid-burst.
+        assert_eq!(urgent_fires_before_lazy(100), 14);
     }
 
     #[test]

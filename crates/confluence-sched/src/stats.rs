@@ -9,6 +9,7 @@
 //! which the Rate-Based scheduler's priority `Pr(A) = S_A / C_A` uses.
 
 use confluence_core::graph::Workflow;
+use confluence_core::telemetry::estimator;
 use confluence_core::time::{Micros, Timestamp};
 
 /// Running statistics for one actor.
@@ -146,33 +147,13 @@ impl StatsModule {
     /// number of workflow *outputs* eventually produced per event consumed
     /// by this actor — the product of selectivities along each downstream
     /// path, summed over paths when the actor feeds multiple branches.
+    /// Terminal actors are output operators: every event they consume is a
+    /// result delivered to the user (selectivity 1 in the Sharaf et al.
+    /// accounting). The propagation itself is the shared
+    /// [`estimator`] core, also used by the wall-clock executor's
+    /// `LiveStats`, so simulator and executor rank actors identically.
     pub fn global_selectivity(&self, idx: usize) -> f64 {
-        let mut memo = vec![None; self.stats.len()];
-        self.global_selectivity_memo(idx, &mut memo)
-    }
-
-    fn global_selectivity_memo(&self, idx: usize, memo: &mut Vec<Option<f64>>) -> f64 {
-        if let Some(v) = memo[idx] {
-            return v;
-        }
-        memo[idx] = Some(0.0); // cycle guard
-        let v = if self.downstream[idx].is_empty() {
-            // Terminal actors are output operators: every event they
-            // consume is a result delivered to the user (selectivity 1 in
-            // the Sharaf et al. accounting), regardless of how many tokens
-            // they emit into the (non-existent) downstream.
-            1.0
-        } else {
-            self.stats[idx].selectivity()
-                * self
-                    .downstream[idx]
-                    .clone()
-                    .into_iter()
-                    .map(|d| self.global_selectivity_memo(d, memo))
-                    .sum::<f64>()
-        };
-        memo[idx] = Some(v);
-        v
+        estimator::global_selectivity(idx, &|i| self.stats[i].selectivity(), &self.downstream)
     }
 
     /// Global average cost per event at an actor per \[28\]: the work this
@@ -180,25 +161,12 @@ impl StatsModule {
     /// workflow — own cost per event plus downstream cost weighted by the
     /// actor's selectivity, summed over downstream paths for shared actors.
     pub fn global_cost(&self, idx: usize) -> f64 {
-        let mut memo = vec![None; self.stats.len()];
-        self.global_cost_memo(idx, &mut memo)
-    }
-
-    fn global_cost_memo(&self, idx: usize, memo: &mut Vec<Option<f64>>) -> f64 {
-        if let Some(v) = memo[idx] {
-            return v;
-        }
-        memo[idx] = Some(0.0); // cycle guard
-        let own = self.stats[idx].cost_per_event();
-        let sel = self.stats[idx].selectivity();
-        let downstream: f64 = self.downstream[idx]
-            .clone()
-            .into_iter()
-            .map(|d| self.global_cost_memo(d, memo))
-            .sum();
-        let v = own + sel * downstream;
-        memo[idx] = Some(v);
-        v
+        estimator::global_cost(
+            idx,
+            &|i| self.stats[i].cost_per_event(),
+            &|i| self.stats[i].selectivity(),
+            &self.downstream,
+        )
     }
 
     /// Render the per-actor runtime statistics as an aligned text table —
@@ -229,15 +197,15 @@ impl StatsModule {
 
     /// The Rate-Based (Highest Rate) dynamic priority
     /// `Pr(A) = S_A / C_A` — global output per unit of processing time.
+    /// Infinite before any cost is observed, so fresh actors get probed
+    /// early.
     pub fn rate_priority(&self, idx: usize) -> f64 {
-        let c = self.global_cost(idx);
-        if c <= 0.0 {
-            // No cost observed yet: maximally attractive, so fresh actors
-            // get probed early.
-            f64::INFINITY
-        } else {
-            self.global_selectivity(idx) / c
-        }
+        estimator::rate_priority(
+            idx,
+            &|i| self.stats[i].cost_per_event(),
+            &|i| self.stats[i].selectivity(),
+            &self.downstream,
+        )
     }
 }
 

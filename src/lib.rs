@@ -51,6 +51,9 @@ pub mod prelude {
     pub use confluence_core::director::ddf::DdfDirector;
     pub use confluence_core::director::de::DeDirector;
     pub use confluence_core::director::pool::PoolDirector;
+    pub use confluence_core::director::pool_policy::{
+        Fifo, OldestWave, PolicyView, PoolPolicy, Quantum, RateBased,
+    };
     pub use confluence_core::director::sdf::SdfDirector;
     pub use confluence_core::director::threaded::ThreadedDirector;
     pub use confluence_core::director::{Director, RunReport};
@@ -58,7 +61,7 @@ pub mod prelude {
     pub use confluence_core::error::{Error, Result};
     pub use confluence_core::graph::{ActorId, PortSel, Workflow, WorkflowBuilder};
     pub use confluence_core::telemetry::{
-        MetricsRecorder, MetricsSnapshot, Observer, RunPhase, Telemetry,
+        LiveStats, MetricsRecorder, MetricsSnapshot, Observer, RunPhase, Telemetry,
     };
     pub use confluence_core::time::{Micros, Timestamp};
     pub use confluence_core::token::Token;
