@@ -1,0 +1,128 @@
+//! PR 5 perf guard: wave-lineage tracing must be free when disabled.
+//!
+//! Re-runs the PR-3 fan-out routing benchmark three ways — bare fabric,
+//! fabric observed by a *disabled* tracer (`TraceConfig::disabled()`,
+//! the always-on production configuration), and fabric observed by an
+//! enabled sample-everything tracer (the debugging configuration). The
+//! guard asserts the disabled-tracer path stays within 5% of the bare
+//! baseline; the enabled number is reported for context only.
+//!
+//! Writes `results/BENCH_pr5.json` (skipped under `cargo bench -- --test`
+//! smoke mode).
+
+use std::sync::Arc;
+
+use criterion::{black_box, Criterion};
+
+use confluence_core::actors::{Collector, VecSource};
+use confluence_core::director::Fabric;
+use confluence_core::graph::{ActorId, Workflow, WorkflowBuilder};
+use confluence_core::telemetry::{Observer, TraceConfig, Tracer};
+use confluence_core::time::Timestamp;
+use confluence_core::token::Token;
+use confluence_core::wave::WaveTag;
+
+/// Emissions per simulated firing (matches the PR-3 routing benches).
+const BATCH: usize = 1_000;
+
+/// Fan-out width: one producer feeding this many sinks.
+const SINKS: usize = 4;
+
+fn fanout_workflow() -> (Workflow, ActorId) {
+    let mut b = WorkflowBuilder::new("trace-overhead-bench");
+    let s = b.add_actor("src", VecSource::new(vec![]));
+    for i in 0..SINKS {
+        let k = b.add_actor(format!("sink{i}"), Collector::new().actor());
+        b.connect(s, "out", k, "in").unwrap();
+    }
+    (b.build().unwrap(), s)
+}
+
+/// A fresh fabric, optionally observed by a tracer built from `config`.
+fn fanout_fabric(trace: Option<TraceConfig>) -> (Fabric, ActorId) {
+    let (workflow, from) = fanout_workflow();
+    let observer = trace.map(|config| {
+        Arc::new(Tracer::for_workflow(&workflow, config)) as Arc<dyn Observer>
+    });
+    (Fabric::build_observed(&workflow, observer).unwrap(), from)
+}
+
+fn tokens() -> Vec<(usize, Token)> {
+    (0..BATCH).map(|i| (0usize, Token::Int(i as i64))).collect()
+}
+
+fn route_batched(fabric: &Fabric, from: ActorId, parent: &WaveTag) -> u64 {
+    fabric.route(from, tokens(), Some(parent), Timestamp(2)).unwrap()
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let parent = WaveTag::external(Timestamp(1));
+    let mut g = c.benchmark_group("trace_overhead");
+    g.bench_function("baseline", |b| {
+        b.iter_with_setup(
+            || fanout_fabric(None),
+            |(f, from)| black_box(route_batched(&f, from, &parent)),
+        )
+    });
+    g.bench_function("tracer_disabled", |b| {
+        b.iter_with_setup(
+            || fanout_fabric(Some(TraceConfig::disabled())),
+            |(f, from)| black_box(route_batched(&f, from, &parent)),
+        )
+    });
+    g.bench_function("tracer_enabled", |b| {
+        b.iter_with_setup(
+            || fanout_fabric(Some(TraceConfig::default())),
+            |(f, from)| black_box(route_batched(&f, from, &parent)),
+        )
+    });
+    g.finish();
+}
+
+fn mean_ns(results: &[criterion::BenchResult], name: &str) -> Option<u64> {
+    results.iter().find(|r| r.name == name).map(|r| r.mean_ns)
+}
+
+fn main() {
+    let _ = criterion::take_results();
+    let mut c = Criterion::default();
+    bench_trace_overhead(&mut c);
+    let results = criterion::take_results();
+    if criterion::is_test_mode() {
+        println!("smoke mode (--test): benches ran once each, skipping BENCH_pr5.json");
+        return;
+    }
+    let baseline = mean_ns(&results, "trace_overhead/baseline").expect("baseline result");
+    let disabled = mean_ns(&results, "trace_overhead/tracer_disabled").expect("disabled result");
+    let enabled = mean_ns(&results, "trace_overhead/tracer_enabled").expect("enabled result");
+    let disabled_ratio = disabled as f64 / baseline as f64;
+    let enabled_ratio = enabled as f64 / baseline as f64;
+    println!("\ndisabled-tracer overhead: {:.2}% ({disabled} ns vs {baseline} ns)",
+        (disabled_ratio - 1.0) * 100.0);
+    println!("enabled-tracer overhead:  {:.2}% ({enabled} ns vs {baseline} ns)",
+        (enabled_ratio - 1.0) * 100.0);
+    let mut json = String::from("{\n  \"pr\": 5,\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}",
+            r.name, r.mean_ns, r.iters
+        ));
+    }
+    json.push_str(&format!(
+        "\n  ],\n  \"disabled_tracer_ratio\": {disabled_ratio:.4},\n  \
+         \"enabled_tracer_ratio\": {enabled_ratio:.4}\n}}\n"
+    ));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_pr5.json");
+    std::fs::write(&path, json).expect("write BENCH_pr5.json");
+    println!("wrote {}", path.display());
+    assert!(
+        disabled_ratio <= 1.05,
+        "a disabled tracer must cost <= 5% over the bare routing path \
+         (got {:.2}%)",
+        (disabled_ratio - 1.0) * 100.0
+    );
+}

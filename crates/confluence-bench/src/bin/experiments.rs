@@ -20,12 +20,16 @@
 
 use confluence_bench::config::ExperimentConfig;
 use confluence_bench::runner::{
-    run_linear_road, run_linear_road_realtime, run_linear_road_realtime_policy, PolicyKind,
-    RealtimePolicy,
+    run_linear_road_realtime, run_linear_road_realtime_traced, run_linear_road_traced, PolicyKind,
+    RealtimePolicy, RunOptions,
 };
 use confluence_bench::{extensions, figures};
 use confluence_core::director::taxonomy;
+use confluence_core::telemetry::{TraceConfig, TraceReport};
 use confluence_linearroad::Workload;
+
+/// Wave sampling rate for `--trace` runs: 1-in-N root waves.
+const TRACE_SAMPLE_EVERY: u64 = 16;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,8 +71,13 @@ fn main() {
         .position(|a| a == "--director")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let trace_path: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     if has("--fig5") && director_mode.is_some() {
-        run_fig5_head_to_head(&config, director_mode.as_deref().unwrap());
+        run_fig5_head_to_head(&config, director_mode.as_deref().unwrap(), trace_path.as_deref());
         return;
     }
     if has("--fig8") && director_mode.is_some() {
@@ -82,6 +91,7 @@ fn main() {
             director_mode.as_deref().unwrap(),
             policy.as_deref(),
             &write_csv,
+            trace_path.as_deref(),
         );
         return;
     }
@@ -92,7 +102,15 @@ fn main() {
         // One representative run over the fig5 workload, with the
         // telemetry layer's per-actor metrics table.
         let workload = Workload::generate(config.workload());
-        let run = run_linear_road(PolicyKind::Qbs { basic_quantum: 500 }, &workload, &config);
+        let (run, trace) = run_linear_road_traced(
+            PolicyKind::Qbs { basic_quantum: 500 },
+            &workload,
+            &config,
+            RunOptions::default(),
+            trace_path
+                .as_deref()
+                .map(|_| TraceConfig::sampled(TRACE_SAMPLE_EVERY)),
+        );
         println!(
             "Per-actor metrics over the Figure 5 workload ({}):\n\n{}",
             run.label,
@@ -103,6 +121,24 @@ fn main() {
             run.channel_blocks, run.channel_block_time, run.channel_shed, run.queue_high_water
         );
         write_csv("fig5_actor_metrics.json", run.metrics.to_json());
+        if let (Some(path), Some(report)) = (trace_path.as_deref(), trace) {
+            emit_trace(path, &report);
+        }
+    } else if has("--fig8") && trace_path.is_some() {
+        // `--fig8 --trace` without `--director`: the fig8 curves are many
+        // virtual-time runs, so trace one representative QBS run instead.
+        let workload = Workload::generate(config.workload());
+        let (run, trace) = run_linear_road_traced(
+            PolicyKind::Qbs { basic_quantum: 500 },
+            &workload,
+            &config,
+            RunOptions::default(),
+            Some(TraceConfig::sampled(TRACE_SAMPLE_EVERY)),
+        );
+        println!("Wave-lineage trace over the Figure 8 workload ({})", run.label);
+        if let (Some(path), Some(report)) = (trace_path.as_deref(), trace) {
+            emit_trace(path, &report);
+        }
     }
     if all || has("--fig6") {
         let curves = figures::fig6_rr_sensitivity(&config);
@@ -159,7 +195,7 @@ fn main() {
 
 /// `--fig5 --director <pool[:N]|threaded>`: wall-clock Linear Road over
 /// the fig5 workload, selected executor vs. the threaded baseline.
-fn run_fig5_head_to_head(config: &ExperimentConfig, mode: &str) {
+fn run_fig5_head_to_head(config: &ExperimentConfig, mode: &str, trace_path: Option<&std::path::Path>) {
     // Compress the timetable so the 600 s trace replays in seconds of
     // wall time; both executors see the identical workflow.
     const SPEEDUP: u64 = 100;
@@ -177,10 +213,31 @@ fn run_fig5_head_to_head(config: &ExperimentConfig, mode: &str) {
     println!(
         "Figure 5 workload, wall-clock head-to-head (timetable compressed {SPEEDUP}x)\n"
     );
-    let baseline = run_linear_road_realtime(None, &workload, SPEEDUP);
-    let runs = match pool_workers {
-        Some(n) => vec![baseline, run_linear_road_realtime(Some(n), &workload, SPEEDUP)],
-        None => vec![baseline],
+    // The trace rides on the selected executor's run (the baseline when
+    // the comparison is threaded-only).
+    let trace_config = trace_path.map(|_| TraceConfig::sampled(TRACE_SAMPLE_EVERY));
+    let (runs, trace) = match pool_workers {
+        Some(n) => {
+            let baseline = run_linear_road_realtime(None, &workload, SPEEDUP);
+            let (selected, trace) = run_linear_road_realtime_traced(
+                Some(n),
+                RealtimePolicy::Fifo,
+                &workload,
+                SPEEDUP,
+                trace_config,
+            );
+            (vec![baseline, selected], trace)
+        }
+        None => {
+            let (baseline, trace) = run_linear_road_realtime_traced(
+                None,
+                RealtimePolicy::Fifo,
+                &workload,
+                SPEEDUP,
+                trace_config,
+            );
+            (vec![baseline], trace)
+        }
     };
     println!(
         "{:<12}  {:>10}  {:>12}  {:>8}  {:>12}",
@@ -199,6 +256,9 @@ fn run_fig5_head_to_head(config: &ExperimentConfig, mode: &str) {
     for run in &runs {
         println!("\nPer-actor metrics ({}):\n\n{}", run.label, run.metrics.render_table());
     }
+    if let (Some(path), Some(report)) = (trace_path, trace) {
+        emit_trace(path, &report);
+    }
 }
 
 /// `--fig8 --director pool[:N] [--policy fifo|rb|edf|qbs[:µs]]`: the
@@ -213,6 +273,7 @@ fn run_fig8_realtime(
     mode: &str,
     policy: Option<&str>,
     write_csv: &dyn Fn(&str, String),
+    trace_path: Option<&std::path::Path>,
 ) {
     // Compress the timetable harder than fig5's head-to-head: the policies
     // only separate once the ready queues actually back up.
@@ -246,8 +307,21 @@ fn run_fig8_realtime(
     let mut csv = String::from(
         "policy,workers,speedup,firings,events_routed,tolls,elapsed_us,mean_ms,p95_ms,p99_ms\n",
     );
+    // The trace rides on the last policy's run (the selected one when a
+    // `--policy` was given, since FIFO runs first as the control).
+    let last = *policies.last().expect("at least one policy");
+    let mut last_trace: Option<TraceReport> = None;
     for p in policies {
-        let run = run_linear_road_realtime_policy(Some(workers), p, &workload, SPEEDUP);
+        let trace_config = if p == last {
+            trace_path.map(|_| TraceConfig::sampled(TRACE_SAMPLE_EVERY))
+        } else {
+            None
+        };
+        let (run, trace) =
+            run_linear_road_realtime_traced(Some(workers), p, &workload, SPEEDUP, trace_config);
+        if trace.is_some() {
+            last_trace = trace;
+        }
         let mean_ms = run.toll_series.mean_secs() * 1e3;
         let p95_ms = run.toll_series.percentile_secs(95.0) * 1e3;
         let p99_ms = run.toll_series.percentile_secs(99.0) * 1e3;
@@ -277,6 +351,49 @@ fn run_fig8_realtime(
         ));
     }
     write_csv("fig8_realtime.csv", csv);
+    if let (Some(path), Some(report)) = (trace_path, last_trace) {
+        emit_trace(path, &report);
+    }
+}
+
+/// Write a [`TraceReport`] as Chrome/Perfetto JSON and print a bounded
+/// lineage summary: flight-recorder counters, the head of the per-wave
+/// critical-path table, and the first recorded wave's tree.
+fn emit_trace(path: &std::path::Path, report: &TraceReport) {
+    std::fs::write(path, report.to_chrome_json()).expect("write trace");
+    eprintln!("wrote {}", path.display());
+    println!(
+        "\nWave-lineage trace: {} roots seen, {} sampled, {} waves recorded, \
+         {} evicted, {} spans dropped",
+        report.roots_seen,
+        report.sampled_roots,
+        report.waves.len(),
+        report.evicted_waves,
+        report.dropped_spans
+    );
+    const MAX_LINES: usize = 16;
+    let summary = report.render_critical_paths();
+    for line in summary.lines().take(MAX_LINES) {
+        println!("{line}");
+    }
+    if summary.lines().count() > MAX_LINES {
+        println!("... ({} waves total; full detail is in the JSON)", report.waves.len());
+    }
+    if let Some(first) = report.waves.first() {
+        let head = TraceReport {
+            waves: vec![first.clone()],
+            ..report.clone()
+        };
+        let tree = head.render_tree();
+        let total = tree.lines().count();
+        println!();
+        for line in tree.lines().take(2 * MAX_LINES) {
+            println!("{line}");
+        }
+        if total > 2 * MAX_LINES {
+            println!("... ({} more span lines in this wave)", total - 2 * MAX_LINES);
+        }
+    }
 }
 
 /// Table 2: the realized actor-state conditions, printed from the living

@@ -1,0 +1,41 @@
+//! Validate a Chrome-trace JSON file produced by `experiments --trace`.
+//!
+//! ```text
+//! validate_trace <trace.json> [more.json ...]
+//! ```
+//!
+//! Exits non-zero (with a diagnostic) on the first file that fails
+//! structural validation; prints per-file event counters otherwise.
+
+use confluence_bench::tracecheck::validate_chrome_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{path}: {err}");
+                std::process::exit(1);
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(stats) => println!(
+                "{path}: ok — {} events ({} slices, {} instants, {} flow arrows, {} threads)",
+                stats.events,
+                stats.slices,
+                stats.instants,
+                stats.flow_ends,
+                stats.threads
+            ),
+            Err(err) => {
+                eprintln!("{path}: INVALID — {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

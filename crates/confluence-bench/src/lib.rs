@@ -12,6 +12,7 @@ pub mod config;
 pub mod extensions;
 pub mod figures;
 pub mod runner;
+pub mod tracecheck;
 
 pub use config::ExperimentConfig;
 pub use runner::{run_linear_road, LrRun, PolicyKind};

@@ -8,7 +8,10 @@ use confluence_core::director::pool_policy::{
 };
 use confluence_core::director::threaded::ThreadedDirector;
 use confluence_core::director::Director;
-use confluence_core::telemetry::{MetricsRecorder, MetricsSnapshot, Telemetry};
+use confluence_core::telemetry::{
+    MetricsRecorder, MetricsSnapshot, MultiObserver, Observer, Telemetry, TraceConfig, TraceReport,
+    Tracer,
+};
 use confluence_core::time::{Micros, Timestamp};
 use confluence_linearroad::cost::{pncwf_cost_model, staf_cost_model};
 use confluence_linearroad::{build, LrOptions, ResponseSeries, Workload};
@@ -132,6 +135,19 @@ pub fn run_linear_road_with(
     config: &ExperimentConfig,
     options: RunOptions,
 ) -> LrRun {
+    run_linear_road_traced(kind, workload, config, options, None).0
+}
+
+/// [`run_linear_road_with`] plus an optional wave-lineage tracer: when
+/// `trace` is set, a [`Tracer`] observes the run and its [`TraceReport`]
+/// is returned alongside the metrics.
+pub fn run_linear_road_traced(
+    kind: PolicyKind,
+    workload: &Workload,
+    config: &ExperimentConfig,
+    options: RunOptions,
+    trace: Option<TraceConfig>,
+) -> (LrRun, Option<TraceReport>) {
     let lr = build(
         workload,
         &LrOptions {
@@ -169,7 +185,12 @@ pub fn run_linear_road_with(
         .with_scheduler_overhead(options.scheduler_overhead)
         .with_deadline(Timestamp::from_secs(config.duration_secs + 20));
     let recorder = Arc::new(MetricsRecorder::for_workflow(&lr.workflow));
-    director.instrument(Telemetry::new(recorder.clone()));
+    let tracer = trace.map(|cfg| Arc::new(Tracer::for_workflow(&lr.workflow, cfg)));
+    let mut observers: Vec<Arc<dyn Observer>> = vec![recorder.clone()];
+    if let Some(t) = &tracer {
+        observers.push(t.clone());
+    }
+    director.instrument(Telemetry::new(Arc::new(MultiObserver::new(observers))));
     let report = director.run(&mut lr.workflow).expect("run succeeds");
 
     let toll_series = ResponseSeries::new(lr.toll_output.latency_samples());
@@ -181,7 +202,7 @@ pub fn run_linear_road_with(
         .map(|h| h.stats().drop_fraction())
         .unwrap_or(0.0);
     let metrics = recorder.snapshot();
-    LrRun {
+    let run = LrRun {
         label: kind.label(),
         toll_count: lr.toll_output.len(),
         toll_series,
@@ -194,7 +215,8 @@ pub fn run_linear_road_with(
         channel_shed: metrics.total_shed(),
         queue_high_water: metrics.max_queue_high_water(),
         metrics,
-    }
+    };
+    (run, tracer.map(|t| t.report()))
 }
 
 /// Ready-queue policy for the wall-clock pool executor (the STAFiLOS §3
@@ -301,6 +323,18 @@ pub fn run_linear_road_realtime_policy(
     workload: &Workload,
     arrival_speedup: u64,
 ) -> RealtimeRun {
+    run_linear_road_realtime_traced(pool_workers, policy, workload, arrival_speedup, None).0
+}
+
+/// [`run_linear_road_realtime_policy`] plus an optional wave-lineage
+/// tracer (see [`run_linear_road_traced`]).
+pub fn run_linear_road_realtime_traced(
+    pool_workers: Option<usize>,
+    policy: RealtimePolicy,
+    workload: &Workload,
+    arrival_speedup: u64,
+    trace: Option<TraceConfig>,
+) -> (RealtimeRun, Option<TraceReport>) {
     let mut lr = build(
         workload,
         &LrOptions {
@@ -328,9 +362,14 @@ pub fn run_linear_road_realtime_policy(
         }
     };
     let recorder = Arc::new(MetricsRecorder::for_workflow(&lr.workflow));
-    director.instrument(Telemetry::new(recorder.clone()));
+    let tracer = trace.map(|cfg| Arc::new(Tracer::for_workflow(&lr.workflow, cfg)));
+    let mut observers: Vec<Arc<dyn Observer>> = vec![recorder.clone()];
+    if let Some(t) = &tracer {
+        observers.push(t.clone());
+    }
+    director.instrument(Telemetry::new(Arc::new(MultiObserver::new(observers))));
     let report = director.run(&mut lr.workflow).expect("run succeeds");
-    RealtimeRun {
+    let run = RealtimeRun {
         label,
         firings: report.firings,
         events_routed: report.events_routed,
@@ -338,7 +377,8 @@ pub fn run_linear_road_realtime_policy(
         toll_series: ResponseSeries::new(lr.toll_output.latency_samples()),
         elapsed: report.elapsed,
         metrics: recorder.snapshot(),
-    }
+    };
+    (run, tracer.map(|t| t.report()))
 }
 
 #[cfg(test)]

@@ -68,6 +68,12 @@ impl DdfDirector {
         let now = self.clock.now();
         let ctx = &mut contexts[id.0];
         ctx.set_now(now);
+        if fabric.wants_event_hooks() {
+            if let Some(t) = &self.telemetry {
+                t.observer
+                    .on_dequeue(id, port, window.trigger_wave(), window.formed_at, now);
+            }
+        }
         ctx.deliver(port, window);
         let actor = workflow.node_mut(id).actor_mut();
         if let Some(t) = &self.telemetry {
@@ -77,6 +83,7 @@ impl DdfDirector {
         let mut events_in = 0u64;
         let mut tokens_out = 0u64;
         let mut origin = None;
+        let mut trigger_tag = None;
         if actor.prefire(ctx)? {
             actor.fire(ctx)?;
             fired = true;
@@ -87,6 +94,7 @@ impl DdfDirector {
             origin = trigger.as_ref().map(|w| w.origin());
             report.events_routed += fabric.route(id, emissions, trigger.as_ref(), now)?;
             report.events_routed += fabric.route_expired(now)?;
+            trigger_tag = trigger;
         }
         if let Some(t) = &self.telemetry {
             let ended = self.clock.now();
@@ -98,6 +106,7 @@ impl DdfDirector {
                 events_in,
                 tokens_out,
                 origin,
+                trigger: trigger_tag,
                 fired,
             });
         }
@@ -183,6 +192,7 @@ impl Director for DdfDirector {
                             events_in: 0,
                             tokens_out,
                             origin: None,
+                            trigger: None,
                             fired: true,
                         });
                     }

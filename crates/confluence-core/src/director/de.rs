@@ -148,6 +148,17 @@ impl Director for DeDirector {
                     let now = self.clock.now();
                     let ctx = &mut contexts[id.0];
                     ctx.set_now(now);
+                    if fabric.wants_event_hooks() {
+                        if let Some(t) = &tele {
+                            t.observer.on_dequeue(
+                                id,
+                                port,
+                                window.trigger_wave(),
+                                window.formed_at,
+                                now,
+                            );
+                        }
+                    }
                     if let Some(t) = &tele {
                         t.observer.on_fire_start(id, now);
                     }
@@ -164,6 +175,7 @@ impl Director for DeDirector {
                     let mut events_in = 0u64;
                     let mut tokens_out = 0u64;
                     let mut origin = None;
+                    let mut trigger_tag = None;
                     if fired {
                         report.firings += 1;
                         events_in = ctx.consumed_events;
@@ -187,10 +199,20 @@ impl Director for DeDirector {
                                     .map(|(p, t)| (p, CwEvent::external(t, now)))
                                     .collect(),
                             };
+                            if trigger.is_none() && fabric.wants_event_hooks() {
+                                if let Some(t) = &tele {
+                                    for (_, event) in &stamped {
+                                        t.observer.on_admit(id, &event.wave, now);
+                                    }
+                                }
+                            }
                             for (out_port, event) in stamped {
                                 for dest in &routes[id.0][out_port] {
                                     report.events_routed += 1;
                                     delivered += 1;
+                                    if let Some(t) = &tele {
+                                        t.observer.on_route_edge(id, dest.actor, dest.port, 1, now);
+                                    }
                                     push(
                                         &mut heap,
                                         now.plus(self.channel_delay),
@@ -206,6 +228,7 @@ impl Director for DeDirector {
                             // hook is reported manually.
                             t.observer.on_route(id, delivered, now);
                         }
+                        trigger_tag = trigger;
                     }
                     if let Some(t) = &tele {
                         let ended = self.clock.now();
@@ -217,6 +240,7 @@ impl Director for DeDirector {
                             events_in,
                             tokens_out,
                             origin,
+                            trigger: trigger_tag,
                             fired,
                         });
                     }
@@ -254,9 +278,17 @@ impl Director for DeDirector {
                         let mut delivered = 0u64;
                         for (out_port, token) in emissions {
                             let event = CwEvent::external(token, now);
+                            if fabric.wants_event_hooks() {
+                                if let Some(t) = &tele {
+                                    t.observer.on_admit(id, &event.wave, now);
+                                }
+                            }
                             for dest in &routes[id.0][out_port] {
                                 report.events_routed += 1;
                                 delivered += 1;
+                                if let Some(t) = &tele {
+                                    t.observer.on_route_edge(id, dest.actor, dest.port, 1, now);
+                                }
                                 push(
                                     &mut heap,
                                     now.plus(self.channel_delay),
@@ -275,6 +307,7 @@ impl Director for DeDirector {
                                 events_in: 0,
                                 tokens_out,
                                 origin: None,
+                                trigger: None,
                                 fired,
                             });
                         }

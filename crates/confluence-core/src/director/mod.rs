@@ -107,6 +107,10 @@ pub struct Fabric {
     has_expired_routes: bool,
     /// Telemetry sink for routing/window/expiry hooks, if instrumented.
     observer: Option<Arc<dyn Observer>>,
+    /// Whether the observer asked for the per-event hooks (`on_admit`,
+    /// `on_enqueue`). Cached at build time so uninstrumented and
+    /// metrics-only runs skip the per-event calls entirely.
+    fine: bool,
     /// Fabric-wide progress counter shared with every inbox: bumped on each
     /// push and pop. A blocked writer that sees it frozen concludes the
     /// network is artificially deadlocked (all writers blocked on full
@@ -196,6 +200,7 @@ impl Fabric {
             })
             .collect();
         let has_expired_routes = workflow.has_expired_routes();
+        let fine = observer.as_ref().is_some_and(|o| o.wants_event_hooks());
         Ok(Fabric {
             inboxes,
             receivers,
@@ -203,6 +208,7 @@ impl Fabric {
             expired_routes,
             has_expired_routes,
             observer,
+            fine,
             progress,
             blocking: AtomicBool::new(false),
             relief_lock: Mutex::new(()),
@@ -226,6 +232,13 @@ impl Fabric {
     /// and deliver events outside [`Fabric::route`] report through it).
     pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
         self.observer.as_ref()
+    }
+
+    /// Whether the attached observer asked for per-event hooks
+    /// (`on_admit`/`on_enqueue`). Directors with manual stamping paths
+    /// gate their own per-event reporting on this.
+    pub fn wants_event_hooks(&self) -> bool {
+        self.fine
     }
 
     /// Report window formation on `dest` to the observer, including the
@@ -253,6 +266,9 @@ impl Fabric {
     /// `on_block` with the time spent blocked.
     fn put_event(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<usize> {
         let receiver = &self.receivers[dest.actor.0][dest.port];
+        // Per-event hooks need the wave past the point the event is moved
+        // into the receiver; the clone is only taken when a tracer asked.
+        let wave = self.fine.then(|| event.wave.clone());
         let mut event = event;
         let mut wait_started: Option<Instant> = None;
         let mut stalled_since: Option<Instant> = None;
@@ -262,6 +278,9 @@ impl Fabric {
                     if let (Some(start), Some(obs)) = (wait_started, &self.observer) {
                         let waited = Micros(start.elapsed().as_micros() as u64);
                         obs.on_block(dest.actor, dest.port, waited, now);
+                    }
+                    if let (Some(wave), Some(obs)) = (&wave, &self.observer) {
+                        obs.on_enqueue(dest.actor, dest.port, wave, now);
                     }
                     self.note_windows(dest, formed, now);
                     return Ok(formed);
@@ -281,6 +300,9 @@ impl Fabric {
                         let formed = receiver.put(ev, now)?;
                         if let Some(obs) = &self.observer {
                             obs.on_block(dest.actor, dest.port, Micros(0), now);
+                            if let Some(wave) = &wave {
+                                obs.on_enqueue(dest.actor, dest.port, wave, now);
+                            }
                         }
                         self.note_windows(dest, formed, now);
                         return Ok(formed);
@@ -399,6 +421,11 @@ impl Fabric {
                 None => CwEvent::external(token, now),
                 Some(parent) => CwEvent::derived(token, now, parent, (i + 1) as u32, i + 1 == n),
             };
+            if self.fine && parent.is_none() {
+                if let Some(obs) = &self.observer {
+                    obs.on_admit(from, &event.wave, now);
+                }
+            }
             delivered += dests.len() as u64;
             let (last, fanned) = dests.split_last().expect("dests is non-empty");
             let mut stash = |dest: &PortRef, ev: CwEvent| match batches
@@ -420,6 +447,7 @@ impl Fabric {
         }
         for (dest, events) in batches {
             let receiver = &self.receivers[dest.actor.0][dest.port];
+            let batch_len = events.len() as u64;
             if receiver.policy().is_bounded() {
                 // Bounded ports keep the event-at-a-time admission path:
                 // blocking, shedding, and relief are per-event decisions.
@@ -427,8 +455,18 @@ impl Fabric {
                     self.put_event(dest, event, now)?;
                 }
             } else {
+                if self.fine {
+                    if let Some(obs) = &self.observer {
+                        for event in &events {
+                            obs.on_enqueue(dest.actor, dest.port, &event.wave, now);
+                        }
+                    }
+                }
                 let formed = receiver.put_batch(events, now)?;
                 self.note_windows(dest, formed, now);
+            }
+            if let Some(obs) = &self.observer {
+                obs.on_route_edge(from, dest.actor, dest.port, batch_len, now);
             }
         }
         if let Some(obs) = &self.observer {
@@ -453,8 +491,12 @@ impl Fabric {
     /// the blocking path.
     pub fn try_deliver(&self, dest: PortRef, event: CwEvent, now: Timestamp) -> Result<TryDeliver> {
         let receiver = &self.receivers[dest.actor.0][dest.port];
+        let wave = self.fine.then(|| event.wave.clone());
         match receiver.try_put(event, now)? {
             TryPut::Stored(formed) => {
+                if let (Some(wave), Some(obs)) = (&wave, &self.observer) {
+                    obs.on_enqueue(dest.actor, dest.port, wave, now);
+                }
                 self.note_windows(dest, formed, now);
                 Ok(TryDeliver::Delivered(formed))
             }

@@ -755,6 +755,7 @@ fn step_source(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<St
                 events_in: 0,
                 tokens_out,
                 origin: None,
+                trigger: None,
                 fired,
             });
         }
@@ -783,11 +784,23 @@ fn step_internal(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<
         Some((port, window)) => {
             let fire_start = clock.now();
             task.ctx.set_now(fire_start);
+            if shared.fabric.wants_event_hooks() {
+                if let Some(t) = &shared.tele {
+                    t.observer.on_dequeue(
+                        task.id,
+                        port,
+                        window.trigger_wave(),
+                        window.formed_at,
+                        fire_start,
+                    );
+                }
+            }
             task.ctx.deliver(port, window);
             let mut fired = false;
             let mut events_in = 0u64;
             let mut tokens_out = 0u64;
             let mut origin = None;
+            let mut trigger_tag = None;
             let mut complete = true;
             // A prefire refusal reports neither a start nor a record — the
             // window stays pending in the context, exactly as under the
@@ -808,6 +821,7 @@ fn step_internal(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<
                     deliver_emissions(shared, task, emissions, trigger.as_ref(), clock.now())?;
                 let expired = shared.fabric.route_expired(clock.now())?;
                 shared.routed.fetch_add(expired, Ordering::Relaxed);
+                trigger_tag = trigger;
             }
             if fired {
                 let ended = clock.now();
@@ -827,6 +841,7 @@ fn step_internal(shared: &PoolShared, w: usize, task: &mut TaskState) -> Result<
                         events_in,
                         tokens_out,
                         origin,
+                        trigger: trigger_tag,
                         fired,
                     });
                 }
@@ -884,6 +899,7 @@ fn deliver_emissions(
         return Ok(true);
     }
     let n = emissions.len();
+    let fine = shared.fabric.wants_event_hooks();
     let mut delivered = 0u64;
     for (i, (port, token)) in emissions.into_iter().enumerate() {
         let dests = shared.fabric.route_targets(task.id, port);
@@ -894,6 +910,16 @@ fn deliver_emissions(
             None => CwEvent::external(token, now),
             Some(parent) => CwEvent::derived(token, now, parent, (i + 1) as u32, i + 1 == n),
         };
+        if let Some(obs) = shared.fabric.observer() {
+            if fine && parent.is_none() {
+                obs.on_admit(task.id, &event.wave, now);
+            }
+            // Block never drops, so each stamped event will reach its
+            // destination edge; report the edges with the route below.
+            for dest in dests {
+                obs.on_route_edge(task.id, dest.actor, dest.port, 1, now);
+            }
+        }
         delivered += dests.len() as u64;
         let (last, fanned) = dests.split_last().expect("dests is non-empty");
         for dest in fanned {

@@ -310,6 +310,17 @@ impl Director for SdfDirector {
                         match inbox.try_pop() {
                             Some((port, w)) => {
                                 counts[port] += 1;
+                                if fabric.wants_event_hooks() {
+                                    if let Some(t) = &self.telemetry {
+                                        t.observer.on_dequeue(
+                                            id,
+                                            port,
+                                            w.trigger_wave(),
+                                            w.formed_at,
+                                            now,
+                                        );
+                                    }
+                                }
                                 staged.push((port, w));
                             }
                             None => {
@@ -367,6 +378,7 @@ impl Director for SdfDirector {
                             events_in,
                             tokens_out,
                             origin,
+                            trigger,
                             fired: true,
                         });
                         if t.should_stop() {

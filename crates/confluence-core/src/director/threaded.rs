@@ -204,6 +204,7 @@ fn controller(
                             events_in: 0,
                             tokens_out,
                             origin: None,
+                            trigger: None,
                             fired,
                         });
                     }
@@ -242,11 +243,23 @@ fn controller(
                     InboxPop::Window(port, window) => {
                         let fire_start = clock.now();
                         ctx.set_now(fire_start);
+                        if fabric.wants_event_hooks() {
+                            if let Some(t) = &tele {
+                                t.observer.on_dequeue(
+                                    id,
+                                    port,
+                                    window.trigger_wave(),
+                                    window.formed_at,
+                                    fire_start,
+                                );
+                            }
+                        }
                         ctx.deliver(port, window);
                         let mut fired = false;
                         let mut events_in = 0u64;
                         let mut tokens_out = 0u64;
                         let mut origin = None;
+                        let mut trigger_tag = None;
                         // Fire telemetry mirrors the source branch: a
                         // prefire refusal reports neither a start nor a
                         // record, so busy-time stats agree across paths.
@@ -264,6 +277,7 @@ fn controller(
                             routed +=
                                 fabric.route(id, emissions, trigger.as_ref(), clock.now())?;
                             routed += fabric.route_expired(clock.now())?;
+                            trigger_tag = trigger;
                         }
                         if fired {
                             if let Some(t) = &tele {
@@ -276,6 +290,7 @@ fn controller(
                                     events_in,
                                     tokens_out,
                                     origin,
+                                    trigger: trigger_tag,
                                     fired,
                                 });
                             }

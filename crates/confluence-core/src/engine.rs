@@ -38,7 +38,7 @@ use crate::error::Result;
 use crate::graph::Workflow;
 use crate::telemetry::{
     FireRecord, MetricsRecorder, MetricsSnapshot, MultiObserver, Observer, RunControl, RunPhase,
-    Telemetry,
+    Telemetry, TraceReport, Tracer,
 };
 use crate::time::{Micros, Timestamp};
 
@@ -131,6 +131,7 @@ pub struct Engine {
     /// Cleared when an explicit director is installed.
     pool_workers: Option<usize>,
     pool_policy: Option<Arc<dyn PoolPolicy>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// The handle a fully-configured [`Engine`] builder chain yields; it *is*
@@ -150,6 +151,7 @@ impl Engine {
             instrumented: false,
             pool_workers: None,
             pool_policy: None,
+            tracer: None,
         }
     }
 
@@ -219,6 +221,27 @@ impl Engine {
     pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> RunHandle {
         self.extra_observers.push(observer);
         self
+    }
+
+    /// Attach a wave-lineage [`Tracer`]; it observes every subsequent run
+    /// and [`Engine::trace_report`] exposes the recorded traces. An
+    /// enabled tracer turns on the fine-grained per-event hooks, so only
+    /// attach one when the lineage detail is wanted.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> RunHandle {
+        self.extra_observers.push(tracer.clone() as Arc<dyn Observer>);
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The tracer attached via [`Engine::with_tracer`], if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The traces recorded so far by the attached tracer (`None` without
+    /// [`Engine::with_tracer`]).
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.tracer.as_ref().map(|t| t.report())
     }
 
     /// Set the workflow-wide channel capacity policy (bounded queues with

@@ -307,6 +307,7 @@ mod tests {
             events_in: 2,
             tokens_out: 1,
             origin: Some(Timestamp(100)),
+            trigger: None,
             fired: true,
         });
         assert_eq!(s.fires(1), 1);
@@ -321,6 +322,7 @@ mod tests {
             events_in: 0,
             tokens_out: 0,
             origin: None,
+            trigger: None,
             fired: false,
         });
         assert_eq!(s.fires(1), 1);

@@ -21,17 +21,21 @@
 pub mod estimator;
 mod livestats;
 mod recorder;
+pub mod trace;
 
 pub use livestats::{LiveStats, EMA_ALPHA};
 pub use recorder::{
-    ActorMetrics, HistogramSnapshot, LatencyHistogram, MetricsRecorder, MetricsSnapshot,
+    ActorMetrics, EdgeMetrics, HistogramSnapshot, LatencyHistogram, MetricsRecorder,
+    MetricsSnapshot,
 };
+pub use trace::{SpanKind, TraceConfig, TraceReport, Tracer, WaveTrace};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::graph::ActorId;
 use crate::time::{Micros, Timestamp};
+use crate::wave::WaveTag;
 
 /// Phases of a workflow run, reported through [`Observer::on_run_phase`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +83,12 @@ pub struct FireRecord {
     /// source firings and non-firings). `ended - origin` is the end-to-end
     /// response time of the triggering tuple at this actor.
     pub origin: Option<Timestamp>,
+    /// Full wave-tag of the window that triggered the firing (`None` for
+    /// source firings and non-firings). Where [`FireRecord::origin`] only
+    /// identifies the wave, `trigger` identifies the exact position in
+    /// its lineage tree — the span id tracing stitches causal chains
+    /// from.
+    pub trigger: Option<WaveTag>,
     /// Whether the actor actually fired (prefire returned true).
     pub fired: bool,
 }
@@ -152,6 +162,51 @@ pub trait Observer: Send + Sync {
     fn on_worker(&self, metrics: &WorkerMetrics) {
         let _ = metrics;
     }
+
+    /// An external event entered the workflow: `from`'s firing produced a
+    /// freshly-stamped root wave `wave` (depth 0). Fine-grained — only
+    /// delivered when [`Observer::wants_event_hooks`] returns true.
+    fn on_admit(&self, from: ActorId, wave: &WaveTag, at: Timestamp) {
+        let _ = (from, wave, at);
+    }
+
+    /// An event carrying `wave` was admitted into `actor`'s input `port`
+    /// queue. Fine-grained — only delivered when
+    /// [`Observer::wants_event_hooks`] returns true.
+    fn on_enqueue(&self, actor: ActorId, port: usize, wave: &WaveTag, at: Timestamp) {
+        let _ = (actor, port, wave, at);
+    }
+
+    /// A formed window was popped from `actor`'s inbox for firing. `wave`
+    /// is the window's trigger wave-tag (`None` for empty flush windows),
+    /// `formed_at` when the window closed. Reported per window (not per
+    /// event), so it is always delivered.
+    fn on_dequeue(
+        &self,
+        actor: ActorId,
+        port: usize,
+        wave: Option<&WaveTag>,
+        formed_at: Timestamp,
+        at: Timestamp,
+    ) {
+        let _ = (actor, port, wave, formed_at, at);
+    }
+
+    /// One destination batch of a routing pass: `events` deliveries went
+    /// from `from` to `to`'s input `port`. Finer than
+    /// [`Observer::on_route`] (which coalesces a whole firing), coarser
+    /// than per-event — reported per edge per firing.
+    fn on_route_edge(&self, from: ActorId, to: ActorId, port: usize, events: u64, at: Timestamp) {
+        let _ = (from, to, port, events, at);
+    }
+
+    /// Whether this observer wants the per-event hooks ([`on_admit`]
+    /// (Observer::on_admit) and [`on_enqueue`](Observer::on_enqueue)).
+    /// The fabric skips those calls entirely when no observer asks, so a
+    /// metrics-only (or disabled-tracer) run pays nothing per event.
+    fn wants_event_hooks(&self) -> bool {
+        false
+    }
 }
 
 /// Fans hooks out to several observers in registration order.
@@ -217,6 +272,36 @@ impl Observer for MultiObserver {
         for o in &self.observers {
             o.on_worker(metrics);
         }
+    }
+    fn on_admit(&self, from: ActorId, wave: &WaveTag, at: Timestamp) {
+        for o in &self.observers {
+            o.on_admit(from, wave, at);
+        }
+    }
+    fn on_enqueue(&self, actor: ActorId, port: usize, wave: &WaveTag, at: Timestamp) {
+        for o in &self.observers {
+            o.on_enqueue(actor, port, wave, at);
+        }
+    }
+    fn on_dequeue(
+        &self,
+        actor: ActorId,
+        port: usize,
+        wave: Option<&WaveTag>,
+        formed_at: Timestamp,
+        at: Timestamp,
+    ) {
+        for o in &self.observers {
+            o.on_dequeue(actor, port, wave, formed_at, at);
+        }
+    }
+    fn on_route_edge(&self, from: ActorId, to: ActorId, port: usize, events: u64, at: Timestamp) {
+        for o in &self.observers {
+            o.on_route_edge(from, to, port, events, at);
+        }
+    }
+    fn wants_event_hooks(&self) -> bool {
+        self.observers.iter().any(|o| o.wants_event_hooks())
     }
 }
 
@@ -305,6 +390,12 @@ mod tests {
         multi.on_expire(ActorId(0), 0, 4, Timestamp(1));
         multi.on_block(ActorId(0), 0, Micros(7), Timestamp(1));
         multi.on_shed(ActorId(0), 0, 2, Timestamp(1));
+        let wave = crate::wave::WaveTag::external(Timestamp(1));
+        multi.on_admit(ActorId(0), &wave, Timestamp(1));
+        multi.on_enqueue(ActorId(1), 0, &wave, Timestamp(1));
+        multi.on_dequeue(ActorId(1), 0, Some(&wave), Timestamp(1), Timestamp(2));
+        multi.on_route_edge(ActorId(0), ActorId(1), 0, 3, Timestamp(1));
+        assert!(!multi.wants_event_hooks());
         multi.on_worker(&WorkerMetrics {
             worker: 0,
             fires: 3,
@@ -319,6 +410,7 @@ mod tests {
             events_in: 1,
             tokens_out: 1,
             origin: None,
+            trigger: None,
             fired: true,
         });
         for o in [&a, &b] {

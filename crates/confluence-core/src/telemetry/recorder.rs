@@ -1,5 +1,6 @@
 //! Lock-free metrics collection and point-in-time snapshots.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -133,6 +134,33 @@ struct ActorCell {
     blocks: AtomicU64,
     block_micros: AtomicU64,
     events_shed: AtomicU64,
+    routed_out: AtomicU64,
+}
+
+/// Per-channel delivery counter cell, pre-sized from the workflow's
+/// channel list so the routing hot path stays lock-free.
+#[derive(Debug)]
+struct EdgeCell {
+    from: ActorId,
+    to: ActorId,
+    port: usize,
+    events: AtomicU64,
+}
+
+/// Routed-event count for one channel `(from, to, port)` in a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeMetrics {
+    /// Producing actor.
+    pub from: ActorId,
+    pub from_name: String,
+    /// Consuming actor.
+    pub to: ActorId,
+    pub to_name: String,
+    /// Destination input port on `to`.
+    pub port: usize,
+    /// Events delivered over this channel.
+    pub events: u64,
 }
 
 /// Metrics for one actor in a [`MetricsSnapshot`].
@@ -163,6 +191,9 @@ pub struct ActorMetrics {
     pub block_time: Micros,
     /// Events shed at this actor's full input ports under drop policies.
     pub events_shed: u64,
+    /// Events this actor delivered downstream (routing passes it
+    /// originated).
+    pub routed_out: u64,
 }
 
 /// Atomics-only [`Observer`] that aggregates the hook stream into
@@ -174,6 +205,8 @@ pub struct MetricsRecorder {
     names: Vec<String>,
     is_sink: Vec<bool>,
     actors: Vec<ActorCell>,
+    edges: Vec<EdgeCell>,
+    edge_index: HashMap<(usize, usize, usize), usize>,
     events_routed: AtomicU64,
     latency: LatencyHistogram,
     run_started: AtomicU64,
@@ -196,7 +229,15 @@ impl MetricsRecorder {
             .actor_ids()
             .map(|id| sinks.contains(&id))
             .collect();
-        Self::with_names(names, is_sink)
+        let mut edges = Vec::new();
+        for id in workflow.actor_ids() {
+            for port in 0..workflow.node(id).signature.outputs.len() {
+                for dest in workflow.routes_from(id, port) {
+                    edges.push((id, dest.actor, dest.port));
+                }
+            }
+        }
+        Self::with_names(names, is_sink).with_edges(edges)
     }
 
     /// Recorder over explicit actor names; `is_sink[i]` marks the actors
@@ -208,12 +249,34 @@ impl MetricsRecorder {
             names,
             is_sink,
             actors,
+            edges: Vec::new(),
+            edge_index: HashMap::new(),
             events_routed: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             run_started: AtomicU64::new(0),
             run_ended: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Declare the workflow's channels so per-edge deliveries reported by
+    /// [`Observer::on_route_edge`] can be counted lock-free. Deliveries on
+    /// edges not declared here are ignored.
+    pub fn with_edges(mut self, edges: Vec<(ActorId, ActorId, usize)>) -> Self {
+        for (from, to, port) in edges {
+            let key = (from.0, to.0, port);
+            if self.edge_index.contains_key(&key) {
+                continue;
+            }
+            self.edge_index.insert(key, self.edges.len());
+            self.edges.push(EdgeCell {
+                from,
+                to,
+                port,
+                events: AtomicU64::new(0),
+            });
+        }
+        self
     }
 
     fn cell(&self, actor: ActorId) -> Option<&ActorCell> {
@@ -253,12 +316,26 @@ impl MetricsRecorder {
                 blocks: c.blocks.load(Ordering::Relaxed),
                 block_time: Micros(c.block_micros.load(Ordering::Relaxed)),
                 events_shed: c.events_shed.load(Ordering::Relaxed),
+                routed_out: c.routed_out.load(Ordering::Relaxed),
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| EdgeMetrics {
+                from: e.from,
+                from_name: self.names.get(e.from.0).cloned().unwrap_or_default(),
+                to: e.to,
+                to_name: self.names.get(e.to.0).cloned().unwrap_or_default(),
+                port: e.port,
+                events: e.events.load(Ordering::Relaxed),
             })
             .collect();
         let mut workers = self.workers.lock().clone();
         workers.sort_by_key(|w| w.worker);
         MetricsSnapshot {
             actors,
+            edges,
             events_routed: self.events_routed.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             run_started: Timestamp(self.run_started.load(Ordering::Relaxed)),
@@ -298,8 +375,17 @@ impl Observer for MetricsRecorder {
         }
     }
 
-    fn on_route(&self, _from: ActorId, delivered: u64, _at: Timestamp) {
+    fn on_route(&self, from: ActorId, delivered: u64, _at: Timestamp) {
         self.events_routed.fetch_add(delivered, Ordering::Relaxed);
+        if let Some(cell) = self.cell(from) {
+            cell.routed_out.fetch_add(delivered, Ordering::Relaxed);
+        }
+    }
+
+    fn on_route_edge(&self, from: ActorId, to: ActorId, port: usize, events: u64, _at: Timestamp) {
+        if let Some(&i) = self.edge_index.get(&(from.0, to.0, port)) {
+            self.edges[i].events.fetch_add(events, Ordering::Relaxed);
+        }
     }
 
     fn on_window_close(
@@ -351,6 +437,9 @@ impl Observer for MetricsRecorder {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub actors: Vec<ActorMetrics>,
+    /// Per-channel delivery counts, in the workflow's channel order
+    /// (empty unless the recorder was built with the workflow topology).
+    pub edges: Vec<EdgeMetrics>,
     /// Channel deliveries across the whole workflow.
     pub events_routed: u64,
     /// End-to-end tuple latency at the sinks (director time).
@@ -440,6 +529,24 @@ impl MetricsSnapshot {
             push_kv_u64(&mut out, "block_us", a.block_time.as_micros());
             out.push(',');
             push_kv_u64(&mut out, "events_shed", a.events_shed);
+            out.push(',');
+            push_kv_u64(&mut out, "routed_out", a.routed_out);
+            out.push('}');
+        }
+        out.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str("\"from\":");
+            push_json_string(&mut out, &e.from_name);
+            out.push_str(",\"to\":");
+            push_json_string(&mut out, &e.to_name);
+            out.push(',');
+            push_kv_u64(&mut out, "port", e.port as u64);
+            out.push(',');
+            push_kv_u64(&mut out, "events", e.events);
             out.push('}');
         }
         out.push_str("],\"workers\":[");
@@ -484,7 +591,7 @@ impl MetricsSnapshot {
             "Highest observed inbox depth per actor",
             |a| a.queue_high_water,
         )];
-        let counters: [MetricCol; 10] = [
+        let counters: [MetricCol; 11] = [
             (
                 "confluence_actor_fires_total",
                 "Successful firings per actor",
@@ -535,6 +642,11 @@ impl MetricsSnapshot {
                 "Events shed at the actor's full input ports by drop policies",
                 |a| a.events_shed,
             ),
+            (
+                "confluence_actor_routed_out_total",
+                "Events the actor delivered downstream",
+                |a| a.routed_out,
+            ),
         ];
         for (name, help, get) in counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -564,6 +676,21 @@ impl MetricsSnapshot {
             "confluence_events_routed_total {}\n",
             self.events_routed
         ));
+        if !self.edges.is_empty() {
+            out.push_str(
+                "# HELP confluence_edge_events_total Events delivered per channel\n\
+                 # TYPE confluence_edge_events_total counter\n",
+            );
+            for e in &self.edges {
+                out.push_str(&format!(
+                    "confluence_edge_events_total{{from=\"{}\",to=\"{}\",port=\"{}\"}} {}\n",
+                    escape_label(&e.from_name),
+                    escape_label(&e.to_name),
+                    e.port,
+                    e.events
+                ));
+            }
+        }
         if !self.workers.is_empty() {
             type WorkerCol = (&'static str, &'static str, fn(&WorkerMetrics) -> u64);
             let worker_counters: [WorkerCol; 2] = [
@@ -622,6 +749,33 @@ impl MetricsSnapshot {
             "confluence_tuple_latency_seconds_count {}\n",
             self.latency.count
         ));
+        // The same histogram in raw microseconds, for consumers that want
+        // integer bucket bounds (`le` labels are cumulative upper bounds,
+        // per the exposition format).
+        out.push_str(
+            "# HELP confluence_latency_us End-to-end tuple latency at the sinks in microseconds\n\
+             # TYPE confluence_latency_us histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, n) in self.latency.buckets.iter().enumerate() {
+            cumulative += n;
+            match bucket_upper_micros(i) {
+                Some(us) => out.push_str(&format!(
+                    "confluence_latency_us_bucket{{le=\"{us}\"}} {cumulative}\n"
+                )),
+                None => out.push_str(&format!(
+                    "confluence_latency_us_bucket{{le=\"+Inf\"}} {cumulative}\n"
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "confluence_latency_us_sum {}\n",
+            self.latency.sum_micros
+        ));
+        out.push_str(&format!(
+            "confluence_latency_us_count {}\n",
+            self.latency.count
+        ));
         out
     }
 
@@ -658,6 +812,12 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "worker {}: fires={} steals={} queue_max={}\n",
                 w.worker, w.fires, w.steals, w.queue_depth
+            ));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "edge {} -> {}:{}  events={}\n",
+                e.from_name, e.to_name, e.port, e.events
             ));
         }
         out.push_str(&format!(
@@ -718,6 +878,7 @@ mod tests {
             events_in: 2,
             tokens_out: 3,
             origin: origin.map(Timestamp),
+            trigger: None,
             fired: true,
         }
     }
@@ -825,13 +986,74 @@ mod tests {
         assert!(text.contains("# TYPE confluence_tuple_latency_seconds histogram"));
         assert!(text.contains("confluence_tuple_latency_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("confluence_tuple_latency_seconds_count 1"));
-        // Cumulative buckets never decrease.
-        let mut last = 0u64;
+        assert!(text.contains("# TYPE confluence_latency_us histogram"));
+        assert!(text.contains("confluence_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("confluence_latency_us_sum 30"));
+        assert!(text.contains("confluence_latency_us_count 1"));
+        // Cumulative buckets never decrease, per histogram series.
+        let mut last: HashMap<&str, u64> = HashMap::new();
         for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let name = line.split('{').next().unwrap();
             let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
-            assert!(v >= last);
-            last = v;
+            let prev = last.entry(name).or_insert(0);
+            assert!(v >= *prev, "bucket series {name} decreased");
+            *prev = v;
         }
+        assert_eq!(last.len(), 2, "both histogram series present");
+    }
+
+    #[test]
+    fn microsecond_histogram_has_integer_cumulative_buckets() {
+        let r = recorder2();
+        for (origin, ended) in [(0, 3), (0, 3), (0, 1000)] {
+            r.on_fire_end(&fire(1, 1, Some(origin), ended));
+        }
+        let text = r.snapshot().to_prometheus();
+        // 3µs lands below le="4"; all three samples below le="1024".
+        assert!(text.contains("confluence_latency_us_bucket{le=\"4\"} 2"));
+        assert!(text.contains("confluence_latency_us_bucket{le=\"1024\"} 3"));
+        assert!(text.contains("confluence_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("confluence_latency_us_sum 1006"));
+        assert!(text.contains("confluence_latency_us_count 3"));
+    }
+
+    #[test]
+    fn edge_counts_are_attributed_and_exported() {
+        let r = recorder2().with_edges(vec![(ActorId(0), ActorId(1), 0)]);
+        r.on_route_edge(ActorId(0), ActorId(1), 0, 5, Timestamp(1));
+        r.on_route_edge(ActorId(0), ActorId(1), 0, 2, Timestamp(2));
+        // Deliveries on an undeclared edge are ignored, not misattributed.
+        r.on_route_edge(ActorId(1), ActorId(0), 3, 99, Timestamp(3));
+        let s = r.snapshot();
+        assert_eq!(s.edges.len(), 1);
+        let e = &s.edges[0];
+        assert_eq!((e.from, e.to, e.port, e.events), (ActorId(0), ActorId(1), 0, 7));
+        assert_eq!((e.from_name.as_str(), e.to_name.as_str()), ("src", "sink"));
+        let json = s.to_json();
+        assert!(json.contains(
+            "\"edges\":[{\"from\":\"src\",\"to\":\"sink\",\"port\":0,\"events\":7}]"
+        ));
+        let prom = s.to_prometheus();
+        assert!(prom.contains(
+            "confluence_edge_events_total{from=\"src\",to=\"sink\",port=\"0\"} 7"
+        ));
+        let table = s.render_table();
+        assert!(table.contains("edge src -> sink:0  events=7"));
+    }
+
+    #[test]
+    fn on_route_attributes_deliveries_to_the_producer() {
+        let r = recorder2();
+        r.on_route(ActorId(0), 4, Timestamp(20));
+        r.on_route(ActorId(0), 3, Timestamp(21));
+        let s = r.snapshot();
+        assert_eq!(s.actor("src").unwrap().routed_out, 7);
+        assert_eq!(s.actor("sink").unwrap().routed_out, 0);
+        assert_eq!(s.events_routed, 7);
+        assert!(s.to_json().contains("\"routed_out\":7"));
+        assert!(s
+            .to_prometheus()
+            .contains("confluence_actor_routed_out_total{actor=\"src\"} 7"));
     }
 
     #[test]

@@ -94,6 +94,56 @@ impl WaveTag {
     pub fn on_last_spine(&self) -> bool {
         self.path.iter().all(|s| s.last)
     }
+
+    /// Tag of the event whose processing produced this one: the path with
+    /// its final step removed. `None` for external events (depth 0).
+    pub fn parent(&self) -> Option<WaveTag> {
+        if self.path.is_empty() {
+            return None;
+        }
+        Some(WaveTag {
+            origin: self.origin,
+            path: self.path[..self.path.len() - 1].to_vec(),
+        })
+    }
+
+    /// Parse the [`Display`](fmt::Display) rendering back into a tag:
+    /// `t<origin_µs>` followed by zero or more `.<serial>` steps, each
+    /// optionally suffixed `!` for the last-sibling mark. Round-trips
+    /// `tag.to_string()` exactly.
+    pub fn parse(s: &str) -> Option<WaveTag> {
+        let rest = s.strip_prefix('t')?;
+        let mut parts = rest.split('.');
+        let origin_str = parts.next()?;
+        if origin_str.is_empty() || !origin_str.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let origin = Timestamp(origin_str.parse().ok()?);
+        let mut path = Vec::new();
+        for part in parts {
+            let (num, last) = match part.strip_suffix('!') {
+                Some(n) => (n, true),
+                None => (part, false),
+            };
+            if num.is_empty() || !num.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let index: u32 = num.parse().ok()?;
+            if index == 0 {
+                return None; // serial numbers are 1-based
+            }
+            path.push(WaveStep { index, last });
+        }
+        Some(WaveTag { origin, path })
+    }
+}
+
+impl std::str::FromStr for WaveTag {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        WaveTag::parse(s).ok_or_else(|| format!("malformed wave-tag {s:?}"))
+    }
 }
 
 impl PartialOrd for WaveTag {
@@ -276,6 +326,42 @@ mod tests {
             tags.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
             vec!["t0", "t1", "t1.1", "t1.1.2!", "t1.2"]
         );
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let tags = [
+            ext(0),
+            ext(42),
+            ext(1).child(3, false).child(1, true),
+            ext(10).child(2, true),
+            ext(7).child(1, true).child(4, false).child(2, true),
+        ];
+        for tag in &tags {
+            let s = tag.to_string();
+            let parsed = WaveTag::parse(&s).unwrap_or_else(|| panic!("parse {s:?}"));
+            assert_eq!(&parsed, tag, "round-trip of {s}");
+            assert_eq!(parsed.to_string(), s);
+        }
+        // FromStr is the same parser.
+        let t: WaveTag = "t1.3.1!".parse().unwrap();
+        assert_eq!(t, ext(1).child(3, false).child(1, true));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tags() {
+        for bad in ["", "t", "x42", "t1.", "t1..2", "t1.0", "t1.a", "t1.2!!", "42", "t-1"] {
+            assert!(WaveTag::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parent_strips_the_last_step() {
+        let t = ext(5);
+        assert_eq!(t.parent(), None);
+        let c = t.child(2, false).child(1, true);
+        assert_eq!(c.parent(), Some(t.child(2, false)));
+        assert_eq!(c.parent().unwrap().parent(), Some(t.clone()));
     }
 
     #[test]

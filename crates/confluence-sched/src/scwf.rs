@@ -387,7 +387,15 @@ impl ScwfCore {
         ctx.set_now(fire_start);
         if !is_source {
             match st.queues[a].pop_front() {
-                Some((port, w)) => ctx.deliver(port, w),
+                Some((port, w)) => {
+                    if st.fabric.wants_event_hooks() {
+                        if let Some(t) = &self.telemetry {
+                            t.observer
+                                .on_dequeue(id, port, w.trigger_wave(), w.formed_at, fire_start);
+                        }
+                    }
+                    ctx.deliver(port, w)
+                }
                 None => return Ok(None),
             }
         }
@@ -444,6 +452,7 @@ impl ScwfCore {
                 events_in: consumed,
                 tokens_out: produced,
                 origin,
+                trigger: parent,
                 fired,
             });
         }
