@@ -175,6 +175,7 @@ fn bench_linear_road_segment(c: &mut Criterion) {
     let workload = Workload::generate(WorkloadConfig {
         duration_secs: 60,
         l_rating: 0.05,
+        expressways: 1,
         seed: 7,
         base_initial_cars: 600,
         base_final_cars: 1_200,

@@ -127,6 +127,7 @@ fn overload_workload(smoke: bool) -> Workload {
     Workload::generate(WorkloadConfig {
         duration_secs: if smoke { 30 } else { 300 },
         l_rating: 0.25,
+        expressways: 1,
         seed: 7,
         base_initial_cars: if smoke { 60 } else { 600 },
         base_final_cars: if smoke { 120 } else { 1_200 },

@@ -153,7 +153,7 @@ pub fn run_linear_road_traced(
         &LrOptions {
             composite_subworkflows: !options.flat_subworkflows,
             shed_target: options.shed_target,
-            arrival_speedup: 1,
+            ..LrOptions::default()
         },
     )
     .expect("workflow builds");
@@ -335,14 +335,24 @@ pub fn run_linear_road_realtime_traced(
     arrival_speedup: u64,
     trace: Option<TraceConfig>,
 ) -> (RealtimeRun, Option<TraceReport>) {
-    let mut lr = build(
-        workload,
-        &LrOptions {
-            arrival_speedup,
-            ..LrOptions::default()
-        },
-    )
-    .expect("workflow builds");
+    let opts = LrOptions {
+        arrival_speedup,
+        ..LrOptions::default()
+    };
+    run_linear_road_realtime_opts(pool_workers, policy, workload, &opts, trace)
+}
+
+/// The fully-parameterized real-time runner: any [`LrOptions`] (toll
+/// sharding, artificial toll cost, arrival speedup, shedding, …) under
+/// the threaded or pooled executor.
+pub fn run_linear_road_realtime_opts(
+    pool_workers: Option<usize>,
+    policy: RealtimePolicy,
+    workload: &Workload,
+    opts: &LrOptions,
+    trace: Option<TraceConfig>,
+) -> (RealtimeRun, Option<TraceReport>) {
+    let mut lr = build(workload, opts).expect("workflow builds");
     let (label, mut director): (String, Box<dyn Director>) = match pool_workers {
         None => ("threaded".to_string(), Box::new(ThreadedDirector::new())),
         Some(n) => {

@@ -216,6 +216,15 @@ impl Director for DdfDirector {
         }
         let order = quasi_topological(workflow);
         for id in order {
+            // Drain anything enabled by earlier closes, then give the actor
+            // its final chance to emit before its own outputs close.
+            while self.fire_once(workflow, &fabric, &mut contexts, &mut report, &mut done, id)? {}
+            let now = self.clock.now();
+            let ctx = &mut contexts[id.0];
+            ctx.set_now(now);
+            workflow.node_mut(id).actor_mut().finish(ctx)?;
+            let (emissions, trigger) = ctx.take_emissions();
+            report.events_routed += fabric.route(id, emissions, trigger.as_ref(), now)?;
             fabric.close_actor_outputs(id, self.clock.now())?;
             let mut again = true;
             while again {

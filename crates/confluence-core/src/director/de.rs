@@ -346,9 +346,60 @@ impl Director for DeDirector {
             t.observer.on_run_phase(RunPhase::Close, self.clock.now());
         }
         for id in super::ddf::quasi_topological(workflow) {
+            // The actor's final chance to emit while downstream ports are
+            // still open: stamp the emissions and deliver them immediately
+            // (the agenda loop is over, so scheduling would lose them).
+            let now = self.clock.now();
+            {
+                let ctx = &mut contexts[id.0];
+                ctx.set_now(now);
+                workflow.node_mut(id).actor_mut().finish(ctx)?;
+            }
+            let (emissions, trigger) = contexts[id.0].take_emissions();
+            if !emissions.is_empty() {
+                let stamped: Vec<(usize, CwEvent)> = match trigger {
+                    Some(ref p) => {
+                        let ports: Vec<usize> = emissions.iter().map(|(p, _)| *p).collect();
+                        let tokens: Vec<_> = emissions.into_iter().map(|(_, t)| t).collect();
+                        let evs =
+                            crate::event::WaveStamper::new(p.clone()).stamp_all(tokens, now);
+                        ports.into_iter().zip(evs).collect()
+                    }
+                    None => emissions
+                        .into_iter()
+                        .map(|(p, t)| (p, CwEvent::external(t, now)))
+                        .collect(),
+                };
+                for (out_port, event) in stamped {
+                    for dest in &routes[id.0][out_port] {
+                        report.events_routed += 1;
+                        fabric.deliver(*dest, event.clone(), now)?;
+                    }
+                }
+            }
             fabric.close_actor_outputs(id, self.clock.now())?;
-            for target in workflow.actor_ids() {
-                drain_inbox!(target);
+            // Close-time firings schedule their deliveries on the agenda
+            // like any other firing; drain it here before moving down the
+            // cascade so those events reach still-open downstream ports.
+            loop {
+                for target in workflow.actor_ids() {
+                    drain_inbox!(target);
+                }
+                let Some(Reverse(entry)) = heap.pop() else {
+                    break;
+                };
+                self.clock.advance_to(entry.time);
+                match entry.agenda {
+                    Agenda::Deliver(dest, event) => {
+                        fabric.deliver(dest, event, self.clock.now())?;
+                        drain_inbox!(dest.actor);
+                    }
+                    Agenda::Poll(pid) => {
+                        fabric.poll_actor(pid, self.clock.now());
+                        drain_inbox!(pid);
+                    }
+                    Agenda::SourceFire(_) => {}
+                }
             }
         }
         if let Some(t) = &tele {

@@ -668,6 +668,24 @@ fn finalize_task(shared: &PoolShared, task: &mut TaskState, run_wrapup: bool) {
         }
     }
     if run_wrapup {
+        // The actor's final chance to emit while its outputs are still
+        // open; any queued `pending_out` events went out first above.
+        task.ctx.set_now(shared.clock.now());
+        match task.actor.finish(&mut task.ctx) {
+            Ok(()) => {
+                let (emissions, trigger) = task.ctx.take_emissions();
+                match shared
+                    .fabric
+                    .route(task.id, emissions, trigger.as_ref(), shared.clock.now())
+                {
+                    Ok(n) => {
+                        shared.routed.fetch_add(n, Ordering::Relaxed);
+                    }
+                    Err(e) => shared.record_error(e),
+                }
+            }
+            Err(e) => shared.record_error(e),
+        }
         if let Err(e) = task.actor.wrapup() {
             shared.record_error(e);
         }

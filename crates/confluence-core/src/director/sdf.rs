@@ -402,6 +402,12 @@ impl Director for SdfDirector {
             t.observer.on_run_phase(RunPhase::Wrapup, self.clock.now());
         }
         for id in workflow.actor_ids() {
+            let ctx = &mut contexts[id.0];
+            ctx.set_now(self.clock.now());
+            workflow.node_mut(id).actor_mut().finish(ctx)?;
+            let (emissions, trigger) = ctx.take_emissions();
+            report.events_routed +=
+                fabric.route(id, emissions, trigger.as_ref(), self.clock.now())?;
             workflow.node_mut(id).actor_mut().wrapup()?;
             fabric.close_actor_outputs(id, self.clock.now())?;
         }

@@ -310,6 +310,13 @@ fn controller(
                 }
             }
         }
+        // Inputs drained (or stream ended): the actor's final chance to
+        // emit while its outputs are still open.
+        ctx.set_now(clock.now());
+        actor.finish(&mut ctx)?;
+        let (finish_emissions, trigger) = ctx.take_emissions();
+        routed += fabric.route(id, finish_emissions, trigger.as_ref(), clock.now())?;
+        routed += fabric.route_expired(clock.now())?;
         actor.wrapup()
     })();
 

@@ -115,11 +115,70 @@ impl Observer for StopWatcher {
     }
 }
 
+/// Declarative execution configuration, applied in one step with
+/// [`Engine::configure`]. Folds what used to be a scattered `with_*`
+/// chain — worker count, pool scheduling policy, and the workflow-wide
+/// channel policy — into a single value that can be built, stored, and
+/// passed around:
+///
+/// ```ignore
+/// let engine = Engine::new(workflow).configure(
+///     ExecConfig::new()
+///         .workers(4)
+///         .channel_policy(ChannelPolicy::bounded(1024, OnFull::Block)),
+/// );
+/// ```
+///
+/// Setting `workers` or a pool policy selects the pooled work-stealing
+/// director; a config with neither leaves the current director in place.
+#[derive(Default)]
+pub struct ExecConfig {
+    workers: Option<usize>,
+    pool_policy: Option<Arc<dyn PoolPolicy>>,
+    channel_policy: Option<ChannelPolicy>,
+}
+
+impl ExecConfig {
+    /// An empty configuration: applying it changes nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run on the pooled work-stealing director with `n` worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Order the pooled director's ready queues by `policy` (see
+    /// [`pool_policy`](crate::director::pool_policy): FIFO, Rate-Based,
+    /// EDF on wave origins, or stride-scheduled quantum allotments).
+    pub fn pool_policy(self, policy: impl PoolPolicy + 'static) -> Self {
+        self.pool_policy_arc(Arc::new(policy))
+    }
+
+    /// Shared-handle variant of [`ExecConfig::pool_policy`], for policies
+    /// chosen at runtime.
+    pub fn pool_policy_arc(mut self, policy: Arc<dyn PoolPolicy>) -> Self {
+        self.pool_policy = Some(policy);
+        self
+    }
+
+    /// Workflow-wide channel capacity policy (bounded queues with
+    /// backpressure). Ports with an explicit per-port policy keep their
+    /// override.
+    pub fn channel_policy(mut self, policy: ChannelPolicy) -> Self {
+        self.channel_policy = Some(policy);
+        self
+    }
+}
+
 /// The redesigned run API: owns a workflow plus a director and executes
 /// instrumented runs. Build with [`Engine::new`], configure with
-/// [`Engine::with_director`] / [`Engine::with_observer`], then call
-/// [`Engine::run`] or [`Engine::run_until`]; [`Engine::snapshot`] exposes
-/// the accumulated [`MetricsSnapshot`] at any point.
+/// [`Engine::configure`] / [`Engine::with_director`] /
+/// [`Engine::with_observer`], then call [`Engine::run`] or
+/// [`Engine::run_until`]; [`Engine::snapshot`] exposes the accumulated
+/// [`MetricsSnapshot`] at any point.
 pub struct Engine {
     workflow: Workflow,
     director: Box<dyn Director>,
@@ -175,13 +234,35 @@ impl Engine {
         self
     }
 
+    /// Apply a declarative [`ExecConfig`] in one step: worker count, pool
+    /// scheduling policy, and the workflow-wide channel policy. This is
+    /// the preferred configuration path; the individual `with_*` methods
+    /// below are thin wrappers kept for compatibility.
+    pub fn configure(mut self, config: ExecConfig) -> RunHandle {
+        if let Some(policy) = config.channel_policy {
+            self.workflow.set_default_channel_policy(policy);
+        }
+        let reselect = config.workers.is_some() || config.pool_policy.is_some();
+        if let Some(workers) = config.workers {
+            self.pool_workers = Some(workers);
+        }
+        if let Some(policy) = config.pool_policy {
+            self.pool_policy = Some(policy);
+        }
+        if reselect {
+            self.rebuild_pool();
+        }
+        self
+    }
+
     /// Execute on the pooled work-stealing director with `workers` worker
     /// threads. Composes with [`Engine::with_pool_policy`] in either
     /// order.
-    pub fn with_workers(mut self, workers: usize) -> RunHandle {
-        self.pool_workers = Some(workers);
-        self.rebuild_pool();
-        self
+    ///
+    /// Deprecated in favor of [`Engine::configure`] with
+    /// [`ExecConfig::workers`].
+    pub fn with_workers(self, workers: usize) -> RunHandle {
+        self.configure(ExecConfig::new().workers(workers))
     }
 
     /// Execute on the pooled work-stealing director with its ready queues
@@ -189,18 +270,20 @@ impl Engine {
     /// [`pool_policy`](crate::director::pool_policy): FIFO, Rate-Based,
     /// EDF on wave origins, or stride-scheduled quantum allotments).
     /// Composes with [`Engine::with_workers`] in either order.
-    pub fn with_pool_policy(mut self, policy: impl PoolPolicy + 'static) -> RunHandle {
-        self.pool_policy = Some(Arc::new(policy));
-        self.rebuild_pool();
-        self
+    ///
+    /// Deprecated in favor of [`Engine::configure`] with
+    /// [`ExecConfig::pool_policy`].
+    pub fn with_pool_policy(self, policy: impl PoolPolicy + 'static) -> RunHandle {
+        self.configure(ExecConfig::new().pool_policy(policy))
     }
 
     /// Shared-handle variant of [`Engine::with_pool_policy`], for policies
     /// chosen at runtime.
-    pub fn with_pool_policy_arc(mut self, policy: Arc<dyn PoolPolicy>) -> RunHandle {
-        self.pool_policy = Some(policy);
-        self.rebuild_pool();
-        self
+    ///
+    /// Deprecated in favor of [`Engine::configure`] with
+    /// [`ExecConfig::pool_policy_arc`].
+    pub fn with_pool_policy_arc(self, policy: Arc<dyn PoolPolicy>) -> RunHandle {
+        self.configure(ExecConfig::new().pool_policy_arc(policy))
     }
 
     /// Reinstall the pool director from the worker/policy memo.
@@ -249,9 +332,11 @@ impl Engine {
     /// [`WorkflowBuilder::set_channel_policy`]
     /// (crate::graph::WorkflowBuilder::set_channel_policy) keep their
     /// override.
-    pub fn with_channel_policy(mut self, policy: ChannelPolicy) -> RunHandle {
-        self.workflow.set_default_channel_policy(policy);
-        self
+    ///
+    /// Deprecated in favor of [`Engine::configure`] with
+    /// [`ExecConfig::channel_policy`].
+    pub fn with_channel_policy(self, policy: ChannelPolicy) -> RunHandle {
+        self.configure(ExecConfig::new().channel_policy(policy))
     }
 
     /// The metrics recorder backing [`Engine::snapshot`].

@@ -11,7 +11,8 @@ use std::collections::HashMap;
 use crate::actor::{Actor, IoSignature};
 use crate::channel::ChannelPolicy;
 use crate::error::{Error, Result};
-use crate::window::WindowSpec;
+use crate::shard::{OrderedMerge, ShardReplica, ShardSplitter};
+use crate::window::{GroupBy, Measure, WindowSpec};
 
 /// Identifies an actor within one workflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -21,6 +22,30 @@ impl ActorId {
     /// The raw index.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Endpoint on this actor's port named `name`.
+    pub fn port(self, name: impl Into<String>) -> Endpoint {
+        Endpoint {
+            actor: self,
+            port: PortKey::Name(name.into()),
+        }
+    }
+
+    /// Endpoint on this actor's output port `index`.
+    pub fn out(self, index: usize) -> Endpoint {
+        Endpoint {
+            actor: self,
+            port: PortKey::Index(index),
+        }
+    }
+
+    /// Endpoint on this actor's input port `index`.
+    pub fn input(self, index: usize) -> Endpoint {
+        Endpoint {
+            actor: self,
+            port: PortKey::Index(index),
+        }
     }
 }
 
@@ -121,6 +146,8 @@ pub struct Workflow {
     channel_policies: Vec<Vec<Option<ChannelPolicy>>>,
     /// Workflow-wide channel policy for ports without an override.
     default_channel_policy: ChannelPolicy,
+    /// Shard groups produced by build-time expansion, in declaration order.
+    shard_groups: Vec<ShardGroup>,
 }
 
 impl std::fmt::Debug for Workflow {
@@ -212,6 +239,12 @@ impl Workflow {
         self.channel_policies[actor.0][in_port] = Some(policy);
     }
 
+    /// Shard groups produced by build-time expansion (empty when nothing
+    /// was sharded).
+    pub fn shard_groups(&self) -> &[ShardGroup] {
+        &self.shard_groups
+    }
+
     /// Whether any port routes its expired events to a handler.
     pub fn has_expired_routes(&self) -> bool {
         self.expired_routes
@@ -247,15 +280,39 @@ impl Workflow {
 
     /// Render the workflow as Graphviz DOT (actors as nodes labelled with
     /// name and priority; channels as edges labelled with port names;
-    /// expired-handler feeds as dashed edges).
+    /// expired-handler feeds as dashed edges; shard groups as dashed
+    /// clusters).
     pub fn to_dot(&self) -> String {
         let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n", self.name);
-        for (i, node) in self.nodes.iter().enumerate() {
+        let mut in_group = vec![false; self.nodes.len()];
+        for g in &self.shard_groups {
+            for id in g.members() {
+                in_group[id.0] = true;
+            }
+        }
+        let node_line = |i: usize| {
+            let node = &self.nodes[i];
             let shape = if node.is_source { "invhouse" } else { "box" };
-            out.push_str(&format!(
+            format!(
                 "  n{i} [label=\"{}\\np{}\" shape={shape}];\n",
                 node.name, node.priority
+            )
+        };
+        for (i, grouped) in in_group.iter().enumerate() {
+            if !grouped {
+                out.push_str(&node_line(i));
+            }
+        }
+        for (k, g) in self.shard_groups.iter().enumerate() {
+            out.push_str(&format!(
+                "  subgraph cluster_shard{k} {{\n    label=\"{} x{}\";\n    style=dashed;\n",
+                g.base,
+                g.replicas.len()
             ));
+            for id in g.members() {
+                out.push_str(&format!("  {}", node_line(id.0)));
+            }
+            out.push_str("  }\n");
         }
         for ch in &self.channels {
             let from = &self.nodes[ch.from.actor.0];
@@ -318,6 +375,7 @@ pub struct WorkflowBuilder {
     expired_handlers: Vec<(ActorId, String, ActorId, String)>,
     channel_policies: Vec<Vec<Option<ChannelPolicy>>>,
     default_channel_policy: ChannelPolicy,
+    shards: Vec<(ActorId, Shard)>,
 }
 
 /// Selects a port on an actor, either by declared name or by positional
@@ -363,6 +421,135 @@ impl std::fmt::Display for PortSel<'_> {
     }
 }
 
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PortKey {
+    Name(String),
+    Index(usize),
+}
+
+/// A typed reference to one port of one actor — the uniform endpoint
+/// vocabulary accepted (as `impl Into<Endpoint>`) by every builder method:
+/// [`WorkflowBuilder::link`], [`WorkflowBuilder::window`],
+/// [`WorkflowBuilder::link_windowed`], [`WorkflowBuilder::channel_policy`],
+/// [`WorkflowBuilder::expired_handler`], and [`WorkflowBuilder::shard`].
+///
+/// Endpoints are made from an [`ActorId`]: `actor.port("pos_in")`,
+/// `actor.out(0)`, `actor.input(1)` — or a bare `ActorId`, meaning its
+/// first port. Whether the port resolves against the actor's inputs or
+/// outputs is decided by the argument position (`from` resolves outputs,
+/// `to` resolves inputs), so `out`/`input` differ only in what they say at
+/// the call site.
+///
+/// ```
+/// use confluence_core::graph::WorkflowBuilder;
+/// use confluence_core::actors::{VecSource, Collector};
+/// use confluence_core::token::Token;
+///
+/// let mut b = WorkflowBuilder::new("endpoints");
+/// let src = b.add_actor("src", VecSource::new(vec![Token::Int(1)]));
+/// let sink = b.add_actor("sink", Collector::new().actor());
+/// b.link(src.port("out"), sink.port("in")).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The actor this endpoint belongs to.
+    pub actor: ActorId,
+    port: PortKey,
+}
+
+impl Endpoint {
+    fn sel(&self) -> PortSel<'_> {
+        match &self.port {
+            PortKey::Name(n) => PortSel::Name(n),
+            PortKey::Index(i) => PortSel::Index(*i),
+        }
+    }
+}
+
+/// A bare actor id is an endpoint on the actor's first (often only) port.
+impl From<ActorId> for Endpoint {
+    fn from(actor: ActorId) -> Self {
+        actor.out(0)
+    }
+}
+
+impl From<(ActorId, &str)> for Endpoint {
+    fn from((actor, name): (ActorId, &str)) -> Self {
+        actor.port(name)
+    }
+}
+
+impl From<(ActorId, usize)> for Endpoint {
+    fn from((actor, index): (ActorId, usize)) -> Self {
+        actor.out(index)
+    }
+}
+
+/// Declarative keyed-sharding specification for one actor, applied with
+/// [`WorkflowBuilder::shard`]. Reuses the window [`GroupBy`] machinery as
+/// its key expression.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    key: GroupBy,
+    replicas: usize,
+    replica_channel_policy: Option<ChannelPolicy>,
+}
+
+impl Shard {
+    /// Shard by the value of the named record fields.
+    pub fn by_fields(names: &[&str]) -> Shard {
+        Self::by_key(GroupBy::fields(names))
+    }
+
+    /// Shard by an arbitrary [`GroupBy`] key expression. A
+    /// [`GroupBy::Key`] closure is accepted unchecked: the caller asserts
+    /// it is consistent with the actor's window grouping.
+    pub fn by_key(key: GroupBy) -> Shard {
+        Shard {
+            key,
+            replicas: 2,
+            replica_channel_policy: None,
+        }
+    }
+
+    /// Number of replicas (default 2). `replicas(1)` makes the expansion a
+    /// structural no-op.
+    pub fn replicas(mut self, n: usize) -> Shard {
+        self.replicas = n;
+        self
+    }
+
+    /// Channel policy applied to every replica's input port (defaults to
+    /// the workflow-wide policy).
+    pub fn replica_channel_policy(mut self, policy: ChannelPolicy) -> Shard {
+        self.replica_channel_policy = Some(policy);
+        self
+    }
+}
+
+/// Metadata about one expanded shard group, recorded on the built
+/// [`Workflow`] for telemetry and DOT export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// Name of the actor that was sharded.
+    pub base: String,
+    /// The generated key-hash splitter (occupies the original node slot).
+    pub splitter: ActorId,
+    /// Replica ids, in shard order.
+    pub replicas: Vec<ActorId>,
+    /// The generated ordered merge stage.
+    pub merge: ActorId,
+}
+
+impl ShardGroup {
+    /// Every generated actor of this group: splitter, replicas, merge.
+    pub fn members(&self) -> impl Iterator<Item = ActorId> + '_ {
+        std::iter::once(self.splitter)
+            .chain(self.replicas.iter().copied())
+            .chain(std::iter::once(self.merge))
+    }
+}
+
 impl WorkflowBuilder {
     /// Start building a workflow.
     pub fn new(name: impl Into<String>) -> Self {
@@ -374,6 +561,7 @@ impl WorkflowBuilder {
             expired_handlers: Vec::new(),
             channel_policies: Vec::new(),
             default_channel_policy: ChannelPolicy::unbounded(),
+            shards: Vec::new(),
         }
     }
 
@@ -439,8 +627,34 @@ impl WorkflowBuilder {
         }
     }
 
+    fn endpoint_of(actor: ActorId, sel: PortSel<'_>) -> Endpoint {
+        match sel {
+            PortSel::Name(n) => actor.port(n),
+            PortSel::Index(i) => actor.out(i),
+        }
+    }
+
+    /// Connect an output endpoint to an input endpoint.
+    pub fn link(&mut self, from: impl Into<Endpoint>, to: impl Into<Endpoint>) -> Result<()> {
+        let (from, to) = (from.into(), to.into());
+        let fp = self.resolve_output(from.actor, from.sel())?;
+        let tp = self.resolve_input(to.actor, to.sel())?;
+        self.channels.push(Channel {
+            from: PortRef {
+                actor: from.actor,
+                port: fp,
+            },
+            to: PortRef {
+                actor: to.actor,
+                port: tp,
+            },
+        });
+        Ok(())
+    }
+
     /// Connect `from`'s output port to `to`'s input port. Ports are
-    /// selected by name or by index ([`PortSel`]).
+    /// selected by name or by index ([`PortSel`]). Thin wrapper over
+    /// [`WorkflowBuilder::link`].
     pub fn connect<'a>(
         &mut self,
         from: ActorId,
@@ -448,19 +662,10 @@ impl WorkflowBuilder {
         to: ActorId,
         to_port: impl Into<PortSel<'a>>,
     ) -> Result<()> {
-        let fp = self.resolve_output(from, from_port.into())?;
-        let tp = self.resolve_input(to, to_port.into())?;
-        self.channels.push(Channel {
-            from: PortRef {
-                actor: from,
-                port: fp,
-            },
-            to: PortRef {
-                actor: to,
-                port: tp,
-            },
-        });
-        Ok(())
+        self.link(
+            Self::endpoint_of(from, from_port.into()),
+            Self::endpoint_of(to, to_port.into()),
+        )
     }
 
     /// Connect actors into a linear pipeline: each actor's first output
@@ -472,20 +677,41 @@ impl WorkflowBuilder {
         Ok(())
     }
 
-    /// Attach window semantics to an input port.
+    /// Attach window semantics to an input endpoint.
+    pub fn window(&mut self, at: impl Into<Endpoint>, spec: WindowSpec) -> Result<()> {
+        spec.validate()?;
+        let at = at.into();
+        let idx = self.resolve_input(at.actor, at.sel())?;
+        self.input_windows[at.actor.0][idx] = spec;
+        Ok(())
+    }
+
+    /// Attach window semantics to an input port. Thin wrapper over
+    /// [`WorkflowBuilder::window`].
     pub fn set_window<'a>(
         &mut self,
         actor: ActorId,
         port: impl Into<PortSel<'a>>,
         spec: WindowSpec,
     ) -> Result<()> {
-        spec.validate()?;
-        let idx = self.resolve_input(actor, port.into())?;
-        self.input_windows[actor.0][idx] = spec;
-        Ok(())
+        self.window(Self::endpoint_of(actor, port.into()), spec)
     }
 
-    /// Convenience: connect and set the destination port's window in one go.
+    /// Convenience: [`WorkflowBuilder::link`] and set the destination
+    /// endpoint's window in one go.
+    pub fn link_windowed(
+        &mut self,
+        from: impl Into<Endpoint>,
+        to: impl Into<Endpoint>,
+        spec: WindowSpec,
+    ) -> Result<()> {
+        let to = to.into();
+        self.link(from, to.clone())?;
+        self.window(to, spec)
+    }
+
+    /// Convenience: connect and set the destination port's window in one
+    /// go. Thin wrapper over [`WorkflowBuilder::link_windowed`].
     pub fn connect_windowed<'a>(
         &mut self,
         from: ActorId,
@@ -494,9 +720,11 @@ impl WorkflowBuilder {
         to_port: impl Into<PortSel<'a>>,
         spec: WindowSpec,
     ) -> Result<()> {
-        let to_port = to_port.into();
-        self.connect(from, from_port, to, to_port)?;
-        self.set_window(to, to_port, spec)
+        self.link_windowed(
+            Self::endpoint_of(from, from_port.into()),
+            Self::endpoint_of(to, to_port.into()),
+            spec,
+        )
     }
 
     /// Assign a designer priority (used by the QBS scheduler; lower is more
@@ -505,18 +733,25 @@ impl WorkflowBuilder {
         self.nodes[actor.0].priority = priority;
     }
 
-    /// Attach a channel capacity policy to one input port (overrides the
-    /// workflow default set by
+    /// Attach a channel capacity policy to one input endpoint (overrides
+    /// the workflow default set by
     /// [`WorkflowBuilder::set_default_channel_policy`]).
+    pub fn channel_policy(&mut self, at: impl Into<Endpoint>, policy: ChannelPolicy) -> Result<()> {
+        let at = at.into();
+        let idx = self.resolve_input(at.actor, at.sel())?;
+        self.channel_policies[at.actor.0][idx] = Some(policy);
+        Ok(())
+    }
+
+    /// Attach a channel capacity policy to one input port. Thin wrapper
+    /// over [`WorkflowBuilder::channel_policy`].
     pub fn set_channel_policy<'a>(
         &mut self,
         actor: ActorId,
         port: impl Into<PortSel<'a>>,
         policy: ChannelPolicy,
     ) -> Result<()> {
-        let idx = self.resolve_input(actor, port.into())?;
-        self.channel_policies[actor.0][idx] = Some(policy);
-        Ok(())
+        self.channel_policy(Self::endpoint_of(actor, port.into()), policy)
     }
 
     /// Set the workflow-wide channel policy applied to every input port
@@ -526,11 +761,30 @@ impl WorkflowBuilder {
         self.default_channel_policy = policy;
     }
 
-    /// Attach a handler activity to an input port's expired-items queue
-    /// (paper §2.1: "when events expire they are pushed to an expired
-    /// items queue which are optionally handled by another workflow
-    /// activity"). Events sliding out of `actor.port`'s windows are
-    /// delivered to `handler.handler_port` instead of being discarded.
+    /// Attach a handler activity to an input endpoint's expired-items
+    /// queue (paper §2.1: "when events expire they are pushed to an
+    /// expired items queue which are optionally handled by another
+    /// workflow activity"). Events sliding out of `at`'s windows are
+    /// delivered to `handler` instead of being discarded.
+    pub fn expired_handler(
+        &mut self,
+        at: impl Into<Endpoint>,
+        handler: impl Into<Endpoint>,
+    ) -> Result<()> {
+        // Resolve eagerly and store the canonical names; final route
+        // resolution happens at build().
+        let (at, handler) = (at.into(), handler.into());
+        let pi = self.resolve_input(at.actor, at.sel())?;
+        let hi = self.resolve_input(handler.actor, handler.sel())?;
+        let port = self.nodes[at.actor.0].signature.inputs[pi].clone();
+        let handler_port = self.nodes[handler.actor.0].signature.inputs[hi].clone();
+        self.expired_handlers
+            .push((at.actor, port, handler.actor, handler_port));
+        Ok(())
+    }
+
+    /// Attach an expired-items handler by `(actor, port)` pairs. Thin
+    /// wrapper over [`WorkflowBuilder::expired_handler`].
     pub fn set_expired_handler<'a>(
         &mut self,
         actor: ActorId,
@@ -538,19 +792,172 @@ impl WorkflowBuilder {
         handler: ActorId,
         handler_port: impl Into<PortSel<'a>>,
     ) -> Result<()> {
-        // Resolve eagerly and store the canonical names; final route
-        // resolution happens at build().
-        let pi = self.resolve_input(actor, port.into())?;
-        let hi = self.resolve_input(handler, handler_port.into())?;
-        let port = self.nodes[actor.0].signature.inputs[pi].clone();
-        let handler_port = self.nodes[handler.0].signature.inputs[hi].clone();
-        self.expired_handlers
-            .push((actor, port, handler, handler_port));
+        self.expired_handler(
+            Self::endpoint_of(actor, port.into()),
+            Self::endpoint_of(handler, handler_port.into()),
+        )
+    }
+
+    /// Mark an actor for keyed sharding: at [`WorkflowBuilder::build`] the
+    /// actor is expanded into `spec.replicas` replicas behind a generated
+    /// key-hash splitter and an ordered merge stage (see [`crate::shard`]),
+    /// invisible to both its neighbours and the director. The actor must
+    /// have exactly one input and one output port, support
+    /// [`Actor::replicate`], and its input window's group-by must be at
+    /// least as fine as the shard key (or be the per-event window).
+    pub fn shard(&mut self, actor: impl Into<Endpoint>, spec: Shard) -> Result<()> {
+        let actor = actor.into().actor;
+        let node = self
+            .nodes
+            .get(actor.0)
+            .ok_or_else(|| Error::UnknownActor(format!("{actor}")))?;
+        if spec.replicas == 0 {
+            return Err(Error::Graph(format!(
+                "shard on `{}` needs at least one replica",
+                node.name
+            )));
+        }
+        if self.shards.iter().any(|(id, _)| *id == actor) {
+            return Err(Error::Graph(format!(
+                "actor `{}` is already marked for sharding",
+                node.name
+            )));
+        }
+        self.shards.push((actor, spec));
         Ok(())
     }
 
+    /// Expand every [`WorkflowBuilder::shard`] declaration in place,
+    /// returning the recorded group metadata.
+    fn expand_shards(&mut self) -> Result<Vec<ShardGroup>> {
+        let mut groups = Vec::new();
+        let shards = std::mem::take(&mut self.shards);
+        for (id, spec) in shards {
+            if spec.replicas == 1 {
+                continue; // structural no-op
+            }
+            let node = &self.nodes[id.0];
+            let base = node.name.clone();
+            if node.is_source {
+                return Err(Error::Graph(format!("cannot shard source actor `{base}`")));
+            }
+            if node.signature.inputs.len() != 1 || node.signature.outputs.len() != 1 {
+                return Err(Error::Graph(format!(
+                    "cannot shard `{base}`: sharding requires exactly one input and one \
+                     output port (has {} inputs, {} outputs)",
+                    node.signature.inputs.len(),
+                    node.signature.outputs.len()
+                )));
+            }
+            // The actor's window moves to the replicas, so per-replica
+            // windowing must equal global windowing: the window's group-by
+            // has to be at least as fine as the shard key (every window
+            // group lands whole on one replica), unless each event forms
+            // its own window anyway.
+            let w = self.input_windows[id.0][0].clone();
+            let per_event = w.size == Measure::Tuples(1) && w.step == Measure::Tuples(1);
+            let compatible = per_event
+                || match (&spec.key, &w.group_by) {
+                    (GroupBy::Fields(k), GroupBy::Fields(g)) => k.iter().all(|f| g.contains(f)),
+                    (GroupBy::Key(_), _) => true, // caller-asserted
+                    _ => false,
+                };
+            if !compatible {
+                return Err(Error::Graph(format!(
+                    "cannot shard `{base}`: its input window must group by at least the \
+                     shard key fields (or be the per-event window)"
+                )));
+            }
+            let n = spec.replicas;
+            let in_name = node.signature.inputs[0].clone();
+            let priority = node.priority;
+
+            // The splitter takes over the sharded actor's node slot so
+            // upstream channels stay untouched.
+            let inner = self.nodes[id.0].actor.take().expect("actor taken before build");
+            let mut inners = vec![inner];
+            for _ in 1..n {
+                let replica = inners[0].replicate().ok_or_else(|| {
+                    Error::Graph(format!(
+                        "cannot shard `{base}`: Actor::replicate returned None \
+                         (the actor does not declare itself replicable)"
+                    ))
+                })?;
+                inners.push(replica);
+            }
+            let splitter: Box<dyn Actor> =
+                Box::new(ShardSplitter::new(spec.key.clone(), n, in_name.as_str()));
+            let signature = splitter.signature();
+            self.nodes[id.0] = ActorNode {
+                name: format!("{base}#split"),
+                actor: Some(splitter),
+                signature,
+                priority,
+                is_source: false,
+            };
+            self.input_windows[id.0] = vec![WindowSpec::each_event()];
+
+            let replica_ids: Vec<ActorId> = inners
+                .into_iter()
+                .enumerate()
+                .map(|(r, inner)| {
+                    let rid = self.add_boxed_actor(
+                        format!("{base}#{r}"),
+                        Box::new(ShardReplica::new(inner)),
+                    );
+                    self.nodes[rid.0].priority = priority;
+                    self.input_windows[rid.0][0] = w.clone();
+                    if let Some(policy) = spec.replica_channel_policy {
+                        self.channel_policies[rid.0][0] = Some(policy);
+                    }
+                    rid
+                })
+                .collect();
+            let merge = self.add_boxed_actor(format!("{base}#merge"), Box::new(OrderedMerge::new(n)));
+            self.nodes[merge.0].priority = priority;
+
+            // Re-point the sharded actor's out-edges to the merge, *before*
+            // wiring the generated channels (which also originate at `id`).
+            for ch in &mut self.channels {
+                if ch.from.actor == id {
+                    ch.from = PortRef {
+                        actor: merge,
+                        port: 0,
+                    };
+                }
+            }
+            for (r, &rid) in replica_ids.iter().enumerate() {
+                self.connect(id, r, rid, 0usize)?;
+                self.connect(rid, 0usize, merge, r)?;
+                self.connect(rid, 1usize, merge, n + r)?;
+            }
+
+            // Expired events of the (now replica-held) window keep flowing
+            // to the declared handler, from every replica.
+            let handlers = std::mem::take(&mut self.expired_handlers);
+            for (a, p, h, hp) in handlers {
+                if a == id {
+                    for &rid in &replica_ids {
+                        self.expired_handlers.push((rid, p.clone(), h, hp.clone()));
+                    }
+                } else {
+                    self.expired_handlers.push((a, p, h, hp));
+                }
+            }
+
+            groups.push(ShardGroup {
+                base,
+                splitter: id,
+                replicas: replica_ids,
+                merge,
+            });
+        }
+        Ok(groups)
+    }
+
     /// Validate and produce the workflow.
-    pub fn build(self) -> Result<Workflow> {
+    pub fn build(mut self) -> Result<Workflow> {
+        let shard_groups = self.expand_shards()?;
         let mut seen = HashMap::new();
         for (i, node) in self.nodes.iter().enumerate() {
             if let Some(prev) = seen.insert(node.name.clone(), i) {
@@ -631,6 +1038,7 @@ impl WorkflowBuilder {
             expired_routes,
             channel_policies: self.channel_policies,
             default_channel_policy: self.default_channel_policy,
+            shard_groups,
         })
     }
 }

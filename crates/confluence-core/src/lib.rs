@@ -32,6 +32,7 @@ pub mod error;
 pub mod event;
 pub mod graph;
 pub mod receiver;
+pub mod shard;
 pub mod spec;
 pub mod telemetry;
 pub mod time;
@@ -41,10 +42,10 @@ pub mod window;
 
 pub use actor::{Actor, FireContext, IoSignature};
 pub use channel::{ChannelPolicy, OnFull};
-pub use engine::{Engine, RunHandle, StopCondition};
+pub use engine::{Engine, ExecConfig, RunHandle, StopCondition};
 pub use error::{Error, Result};
 pub use event::CwEvent;
-pub use graph::{ActorId, PortSel, Workflow, WorkflowBuilder};
+pub use graph::{ActorId, Endpoint, PortSel, Shard, ShardGroup, Workflow, WorkflowBuilder};
 pub use telemetry::{MetricsRecorder, MetricsSnapshot, Observer, RunPhase, Telemetry};
 pub use time::{Clock, Micros, SharedClock, Timestamp, VirtualClock, WallClock};
 pub use token::Token;

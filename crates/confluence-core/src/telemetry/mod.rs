@@ -26,7 +26,7 @@ pub mod trace;
 pub use livestats::{LiveStats, EMA_ALPHA};
 pub use recorder::{
     ActorMetrics, EdgeMetrics, HistogramSnapshot, LatencyHistogram, MetricsRecorder,
-    MetricsSnapshot,
+    MetricsSnapshot, ShardMetrics, ShardReplicaMetrics,
 };
 pub use trace::{SpanKind, TraceConfig, TraceReport, Tracer, WaveTrace};
 

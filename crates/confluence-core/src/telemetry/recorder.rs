@@ -196,6 +196,52 @@ pub struct ActorMetrics {
     pub routed_out: u64,
 }
 
+/// One replica's slice of a [`ShardMetrics`] group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReplicaMetrics {
+    /// Replica index within the group (the `<i>` of `base#<i>`).
+    pub replica: usize,
+    /// Successful firings of this replica.
+    pub fires: u64,
+    /// Events the replica consumed.
+    pub events_in: u64,
+    /// Tokens the replica produced.
+    pub tokens_out: u64,
+    /// Highest observed inbox depth on the replica.
+    pub queue_high_water: u64,
+    /// Busy time charged to the replica.
+    pub busy: Micros,
+}
+
+/// Aggregated per-replica metrics for one expanded shard group, recovered
+/// from the generated `base#<i>` actor names (see
+/// [`crate::graph::WorkflowBuilder::shard`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Name of the sharded base actor.
+    pub base: String,
+    /// Per-replica metrics, in replica order.
+    pub replicas: Vec<ShardReplicaMetrics>,
+}
+
+impl ShardMetrics {
+    /// Firings summed over all replicas.
+    pub fn total_fires(&self) -> u64 {
+        self.replicas.iter().map(|r| r.fires).sum()
+    }
+
+    /// Load imbalance: the busiest replica's firing share of a perfectly
+    /// even split (1.0 = balanced, `replicas` = everything on one).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_fires();
+        if total == 0 || self.replicas.is_empty() {
+            return 1.0;
+        }
+        let max = self.replicas.iter().map(|r| r.fires).max().unwrap_or(0);
+        max as f64 * self.replicas.len() as f64 / total as f64
+    }
+}
+
 /// Atomics-only [`Observer`] that aggregates the hook stream into
 /// per-actor counters plus an end-to-end latency histogram fed by sink
 /// firings. Safe to share across the threaded director's actor threads;
@@ -488,6 +534,41 @@ impl MetricsSnapshot {
             .unwrap_or(0)
     }
 
+    /// Recover the per-shard view from the generated `base#<i>` replica
+    /// names, one [`ShardMetrics`] per expanded shard group in base-name
+    /// order. Workflows without sharding yield an empty vec.
+    pub fn shards(&self) -> Vec<ShardMetrics> {
+        let mut groups: Vec<ShardMetrics> = Vec::new();
+        for a in &self.actors {
+            let Some((base, idx)) = a.name.rsplit_once('#') else {
+                continue;
+            };
+            let Ok(replica) = idx.parse::<usize>() else {
+                continue; // `base#split` / `base#merge` helpers.
+            };
+            let entry = ShardReplicaMetrics {
+                replica,
+                fires: a.fires,
+                events_in: a.events_in,
+                tokens_out: a.tokens_out,
+                queue_high_water: a.queue_high_water,
+                busy: a.busy,
+            };
+            match groups.iter_mut().find(|g| g.base == base) {
+                Some(g) => g.replicas.push(entry),
+                None => groups.push(ShardMetrics {
+                    base: base.to_string(),
+                    replicas: vec![entry],
+                }),
+            }
+        }
+        for g in &mut groups {
+            g.replicas.sort_by_key(|r| r.replica);
+        }
+        groups.sort_by(|a, b| a.base.cmp(&b.base));
+        groups
+    }
+
     /// Serialize as a self-contained JSON document (no external deps).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.actors.len() * 192);
@@ -720,6 +801,37 @@ impl MetricsSnapshot {
                     "confluence_worker_queue_depth{{worker=\"{}\"}} {}\n",
                     w.worker, w.queue_depth
                 ));
+            }
+        }
+        let shards = self.shards();
+        if !shards.is_empty() {
+            out.push_str(
+                "# HELP confluence_shard_replica_fires_total Successful firings per shard replica\n\
+                 # TYPE confluence_shard_replica_fires_total counter\n",
+            );
+            for g in &shards {
+                for r in &g.replicas {
+                    out.push_str(&format!(
+                        "confluence_shard_replica_fires_total{{shard=\"{}\",replica=\"{}\"}} {}\n",
+                        escape_label(&g.base),
+                        r.replica,
+                        r.fires
+                    ));
+                }
+            }
+            out.push_str(
+                "# HELP confluence_shard_replica_queue_high_water Highest observed inbox depth per shard replica\n\
+                 # TYPE confluence_shard_replica_queue_high_water gauge\n",
+            );
+            for g in &shards {
+                for r in &g.replicas {
+                    out.push_str(&format!(
+                        "confluence_shard_replica_queue_high_water{{shard=\"{}\",replica=\"{}\"}} {}\n",
+                        escape_label(&g.base),
+                        r.replica,
+                        r.queue_high_water
+                    ));
+                }
             }
         }
         out.push_str(

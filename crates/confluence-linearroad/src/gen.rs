@@ -32,6 +32,10 @@ pub struct WorkloadConfig {
     pub duration_secs: u64,
     /// L-rating: fraction of a full expressway's traffic (paper: 0.5).
     pub l_rating: f64,
+    /// Number of expressways. Car population scales linearly with it and
+    /// cars are assigned an `xway` uniformly at random; `1` reproduces the
+    /// single-expressway streams byte-for-byte (no extra RNG draws).
+    pub expressways: usize,
     /// RNG seed (runs are fully deterministic given the config).
     pub seed: u64,
     /// Car population at t = 0 for L = 1.0 (scaled by `l_rating`).
@@ -51,6 +55,7 @@ impl Default for WorkloadConfig {
         WorkloadConfig {
             duration_secs: 600,
             l_rating: 0.5,
+            expressways: 1,
             seed: 0xC0FFEE,
             base_initial_cars: 600,
             base_final_cars: 12_000,
@@ -73,6 +78,7 @@ impl WorkloadConfig {
             // (fourth report at t=140).
             duration_secs: 180,
             l_rating: 0.05,
+            expressways: 1,
             seed: 7,
             base_initial_cars: 600,
             base_final_cars: 2_000,
@@ -95,16 +101,31 @@ impl Workload {
     /// Generate deterministically from a configuration.
     pub fn generate(config: WorkloadConfig) -> Workload {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let initial = (config.base_initial_cars as f64 * config.l_rating).round() as usize;
-        let final_ = (config.base_final_cars as f64 * config.l_rating).round() as usize;
+        let lanes = config.expressways.max(1);
+        let scale = config.l_rating * lanes as f64;
+        let initial = (config.base_initial_cars as f64 * scale).round() as usize;
+        let final_ = (config.base_final_cars as f64 * scale).round() as usize;
         let duration = config.duration_secs as i64;
         let mut reports: Vec<PositionReport> = Vec::new();
         let mut next_carid: i64 = 1;
+        // Expressway assignment, drawn only in multi-expressway runs so the
+        // single-expressway stream stays byte-identical across versions.
+        let pick_xway = |rng: &mut StdRng| -> i64 {
+            if lanes > 1 {
+                rng.gen_range(0..lanes as i64)
+            } else {
+                0
+            }
+        };
 
         // One car's journey: reports every 30 s from `entry` until the run
         // ends or it leaves the expressway. Most cars head for the
         // downtown band, where everyone crawls.
-        let drive = |rng: &mut StdRng, carid: i64, entry: i64, out: &mut Vec<PositionReport>| {
+        let drive = |rng: &mut StdRng,
+                     carid: i64,
+                     xway: i64,
+                     entry: i64,
+                     out: &mut Vec<PositionReport>| {
             let dir = rng.gen_range(0..2i64);
             let free_speed: f64 = rng.gen_range(48.0..75.0);
             let jam_speed: f64 = rng.gen_range(18.0..38.0);
@@ -136,7 +157,7 @@ impl Workload {
                     time: t,
                     carid,
                     speed,
-                    xway: 0,
+                    xway,
                     lane,
                     dir,
                     seg,
@@ -157,7 +178,8 @@ impl Workload {
             let entry = rng.gen_range(0..REPORT_INTERVAL_SECS as i64);
             let id = next_carid;
             next_carid += 1;
-            drive(&mut rng, id, entry, &mut reports);
+            let xway = pick_xway(&mut rng);
+            drive(&mut rng, id, xway, entry, &mut reports);
         }
         // Ramp: evenly spaced entries reaching `final_` cars at the end.
         let extra = final_.saturating_sub(initial);
@@ -166,7 +188,8 @@ impl Workload {
                 as i64;
             let id = next_carid;
             next_carid += 1;
-            drive(&mut rng, id, entry.min(duration), &mut reports);
+            let xway = pick_xway(&mut rng);
+            drive(&mut rng, id, xway, entry.min(duration), &mut reports);
         }
 
         // Scheduled accidents: two cars stopped at the same position in a
@@ -178,6 +201,7 @@ impl Workload {
                 let pos = seg * SEGMENT_FEET + rng.gen_range(0..SEGMENT_FEET);
                 let dir = rng.gen_range(0..2i64);
                 let lane = rng.gen_range(1..EXIT_LANE);
+                let xway = pick_xway(&mut rng);
                 for _ in 0..2 {
                     let carid = next_carid;
                     next_carid += 1;
@@ -187,7 +211,7 @@ impl Workload {
                             time: rt,
                             carid,
                             speed: 0.0,
-                            xway: 0,
+                            xway,
                             lane,
                             dir,
                             seg,
@@ -354,6 +378,29 @@ mod tests {
         }
         let max = cars.values().map(|s| s.len()).max().unwrap_or(0);
         assert!(max > 50, "peak band occupancy {max} must cross the threshold");
+    }
+
+    #[test]
+    fn multi_expressway_scales_and_partitions() {
+        let one = Workload::generate(WorkloadConfig::tiny());
+        assert!(one.reports.iter().all(|r| r.xway == 0));
+        let two = Workload::generate(WorkloadConfig {
+            expressways: 2,
+            ..WorkloadConfig::tiny()
+        });
+        // Both expressways carry traffic and total volume roughly doubles.
+        for xw in 0..2 {
+            assert!(
+                two.reports.iter().any(|r| r.xway == xw),
+                "expressway {xw} has traffic"
+            );
+        }
+        assert!(two.reports.iter().all(|r| (0..2).contains(&r.xway)));
+        let ratio = two.len() as f64 / one.len() as f64;
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "2 expressways ≈ 2x the reports, got {ratio:.2}x"
+        );
     }
 
     #[test]

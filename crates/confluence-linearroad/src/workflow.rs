@@ -14,7 +14,7 @@ use confluence_core::actors::FnActor;
 use confluence_core::actors::TimedSource;
 use confluence_core::director::composite::{CompositeActor, InjectHandle, InnerDirector};
 use confluence_core::error::Result;
-use confluence_core::graph::{Workflow, WorkflowBuilder};
+use confluence_core::graph::{Shard, Workflow, WorkflowBuilder};
 use confluence_core::time::Micros;
 use confluence_core::window::{GroupBy, WindowSpec};
 use confluence_relstore::StoreHandle;
@@ -43,6 +43,15 @@ pub struct LrOptions {
     /// are divided by it), so real-time directors replay a long trace in a
     /// fraction of its wall-clock duration. `1` replays in real time.
     pub arrival_speedup: u64,
+    /// Shard `TollCalculation` by `carid` into this many replicas behind a
+    /// generated splitter and ordered merge (see
+    /// [`confluence_core::shard`]). `None` (or `Some(1)`) keeps the single
+    /// toll actor.
+    pub shard_toll: Option<usize>,
+    /// Artificial service time per toll-calculation firing (a blocking
+    /// sleep; see [`TollCalculator::with_cost`]), for scaling experiments
+    /// where the real per-firing cost is negligible.
+    pub toll_cost: Option<Micros>,
 }
 
 impl Default for LrOptions {
@@ -51,6 +60,8 @@ impl Default for LrOptions {
             composite_subworkflows: true,
             shed_target: None,
             arrival_speedup: 1,
+            shard_toll: None,
+            toll_cost: None,
         }
     }
 }
@@ -164,7 +175,11 @@ pub fn build(workload: &Workload, opts: &LrOptions) -> Result<LinearRoad> {
     b.connect(cars, "out", cars_writer, "in")?;
 
     // --- Toll calculation and notification ----------------------------------
-    let toll = b.add_actor("TollCalculation", TollCalculator::new(store.clone()));
+    let mut toll_actor = TollCalculator::new(store.clone());
+    if let Some(cost) = opts.toll_cost {
+        toll_actor = toll_actor.with_cost(cost);
+    }
+    let toll = b.add_actor("TollCalculation", toll_actor);
     let toll_out = b.add_actor("TollNotification", toll_output.actor());
     b.connect_windowed(
         source,
@@ -174,6 +189,12 @@ pub fn build(workload: &Workload, opts: &LrOptions) -> Result<LinearRoad> {
         WindowSpec::tuples(2, 1).group_by(GroupBy::fields(&["carid"])),
     )?;
     b.connect(toll, "out", toll_out, "in")?;
+    if let Some(n) = opts.shard_toll {
+        // The toll window groups by carid, so a carid-keyed split keeps
+        // every window whole on one replica; the generated merge restores
+        // global dispatch order at the notification output.
+        b.shard(toll, Shard::by_fields(&["carid"]).replicas(n))?;
+    }
 
     // Designer priorities (paper Table 3): 5 for the actors handling the
     // immediate output of the workflow, 10 for statistics maintenance and
@@ -285,6 +306,30 @@ mod tests {
             let stats = lr.workflow.find("Avgsv").unwrap();
             assert_eq!(lr.workflow.node(stats).priority, 10);
             assert_eq!(lr.workflow.sources().len(), 1);
+        }
+    }
+
+    #[test]
+    fn sharded_toll_expands_behind_split_and_merge() {
+        let w = Workload::generate(WorkloadConfig::tiny());
+        let lr = build(
+            &w,
+            &LrOptions {
+                shard_toll: Some(3),
+                ..LrOptions::default()
+            },
+        )
+        .unwrap();
+        // 13 base actors: the toll slot becomes the splitter, plus 3
+        // replicas and the merge.
+        assert_eq!(lr.workflow.actor_count(), 17);
+        let groups = lr.workflow.shard_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].base, "TollCalculation");
+        assert_eq!(groups[0].replicas.len(), 3);
+        // Replicas inherit the toll priority (paper Table 3: 5).
+        for &rid in &groups[0].replicas {
+            assert_eq!(lr.workflow.node(rid).priority, 5);
         }
     }
 

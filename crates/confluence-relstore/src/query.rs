@@ -77,17 +77,7 @@ impl Query {
     /// Execute against a table directly.
     pub fn execute_on(&self, table: &Table) -> Result<Vec<Row>> {
         let schema = table.schema();
-        let mut rows = table.select(self.filter.as_ref())?;
-        if let Some((column, order)) = &self.order_by {
-            let idx = schema.column_index(column)?;
-            rows.sort_by(|a, b| {
-                let ord = a[idx].cmp(&b[idx]);
-                match order {
-                    Order::Asc => ord,
-                    Order::Desc => ord.reverse(),
-                }
-            });
-        }
+        let mut rows = self.fetch_ordered(table)?;
         if let Some(n) = self.limit {
             rows.truncate(n);
         }
@@ -100,6 +90,39 @@ impl Query {
                 .into_iter()
                 .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
                 .collect();
+        }
+        Ok(rows)
+    }
+
+    /// Matching rows in the requested sort order.
+    ///
+    /// Fast path: with both `order_by` and `limit` set, the top-k rows are
+    /// streamed straight off an ordered index whose range column is the
+    /// sort column (and whose equality columns the filter binds), skipping
+    /// the materialize-everything-then-sort step. Falls back to
+    /// select + stable sort when no index fits; both paths produce
+    /// identical output, including tie order.
+    fn fetch_ordered(&self, table: &Table) -> Result<Vec<Row>> {
+        let schema = table.schema();
+        if let (Some((column, order)), Some(n)) = (&self.order_by, self.limit) {
+            // Validate the sort column up front so the fast path reports
+            // unknown columns exactly like the sort path.
+            schema.column_index(column)?;
+            let desc = matches!(order, Order::Desc);
+            if let Some(rows) = table.top_k(self.filter.as_ref(), column, desc, n)? {
+                return Ok(rows);
+            }
+        }
+        let mut rows = table.select(self.filter.as_ref())?;
+        if let Some((column, order)) = &self.order_by {
+            let idx = schema.column_index(column)?;
+            rows.sort_by(|a, b| {
+                let ord = a[idx].cmp(&b[idx]);
+                match order {
+                    Order::Asc => ord,
+                    Order::Desc => ord.reverse(),
+                }
+            });
         }
         Ok(rows)
     }
@@ -205,6 +228,63 @@ mod tests {
         assert_eq!(none, None);
         // Too wide.
         assert!(Query::from("t").filter(col("id").eq(lit(4))).scalar(&s).is_err());
+    }
+
+    #[test]
+    fn ordered_index_top_k_matches_sort_path() {
+        let mut s = store();
+        s.table_mut("t")
+            .unwrap()
+            .create_ordered_index(&["g"], "v")
+            .unwrap();
+        // Same shape as `filter_project_order_limit`, now index-served.
+        let rows = Query::from("t")
+            .filter(col("g").eq(lit(1)))
+            .order_by("v", Order::Desc)
+            .limit(2)
+            .project(&["id"])
+            .execute(&s)
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(7)], vec![Value::Int(4)]]);
+        // Residual (non-index) predicate still filters the stream.
+        let rows = Query::from("t")
+            .filter(col("g").eq(lit(1)).and(col("id").lt(lit(7))))
+            .order_by("v", Order::Desc)
+            .limit(2)
+            .project(&["id"])
+            .execute(&s)
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(4)], vec![Value::Int(1)]]);
+        // Missing partition → empty result, not an error.
+        let rows = Query::from("t")
+            .filter(col("g").eq(lit(9)))
+            .order_by("v", Order::Asc)
+            .limit(5)
+            .execute(&s)
+            .unwrap();
+        assert!(rows.is_empty());
+        // An index with no equality columns serves unfiltered top-k too.
+        s.table_mut("t")
+            .unwrap()
+            .create_ordered_index(&[], "id")
+            .unwrap();
+        let rows = Query::from("t")
+            .order_by("id", Order::Asc)
+            .limit(3)
+            .project(&["id"])
+            .execute(&s)
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(0)], vec![Value::Int(1)], vec![Value::Int(2)]]
+        );
+        // Sorting by a non-indexed column falls back and still agrees.
+        let via_sort = Query::from("t")
+            .order_by("g", Order::Asc)
+            .limit(4)
+            .execute(&s)
+            .unwrap();
+        assert_eq!(via_sort.len(), 4);
     }
 
     #[test]

@@ -312,6 +312,77 @@ impl Table {
             .collect())
     }
 
+    /// Top-k rows ordered by `order_col`, streamed straight off an ordered
+    /// index instead of materializing and sorting the full match set.
+    ///
+    /// Applies when some ordered index has `order_col` as its range column
+    /// and every one of its equality columns is bound to a constant by the
+    /// predicate. Returns `Ok(None)` when no index fits (the caller falls
+    /// back to sort) and `Ok(Some(rows))` when one does: at most `limit`
+    /// rows in `order_col` order (descending when `desc`), ties broken by
+    /// storage order exactly like a stable sort over `select()` output.
+    pub fn top_k(
+        &self,
+        pred: Option<&Expr>,
+        order_col: &str,
+        desc: bool,
+        limit: usize,
+    ) -> Result<Option<Vec<Row>>> {
+        let binds = pred.map(|p| p.equality_bindings()).unwrap_or_default();
+        for idx in &self.ordered {
+            if idx.range_name != order_col {
+                continue;
+            }
+            let mut key = Vec::with_capacity(idx.eq_cols.len());
+            for name in &idx.eq_names {
+                if let Some((_, v)) = binds.iter().find(|(n, _)| n == name) {
+                    key.push(v.clone());
+                } else {
+                    key.clear();
+                    break;
+                }
+            }
+            if key.len() != idx.eq_cols.len() {
+                continue;
+            }
+            if limit == 0 {
+                return Ok(Some(Vec::new()));
+            }
+            let Some(tree) = idx.map.get(&key) else {
+                return Ok(Some(Vec::new()));
+            };
+            let buckets: Box<dyn Iterator<Item = &Vec<usize>>> = if desc {
+                Box::new(tree.values().rev())
+            } else {
+                Box::new(tree.values())
+            };
+            let mut out = Vec::new();
+            'scan: for positions in buckets {
+                // Within one sort-key value, emit in storage order — the
+                // same tie order the stable-sort fallback produces.
+                let mut bucket = positions.clone();
+                bucket.sort_unstable();
+                for pos in bucket {
+                    let Some(row) = self.rows[pos].as_ref() else {
+                        continue;
+                    };
+                    let matched = match pred {
+                        Some(p) => p.matches(&self.schema, row)?,
+                        None => true,
+                    };
+                    if matched {
+                        out.push(row.clone());
+                        if out.len() == limit {
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+
     /// Rows satisfying the predicate (all rows when `None`), in storage
     /// order.
     pub fn select(&self, pred: Option<&Expr>) -> Result<Vec<Row>> {

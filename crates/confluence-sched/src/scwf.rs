@@ -338,11 +338,30 @@ impl ScwfCore {
             let st = self.state.as_mut().expect("initialized");
             if !st.closed {
                 st.closed = true;
-                let now = self.mode.now();
                 if let Some(t) = &self.telemetry {
-                    t.observer.on_run_phase(RunPhase::Close, now);
+                    t.observer.on_run_phase(RunPhase::Close, self.mode.now());
                 }
-                for id in st.topo.clone() {
+                // Close upstream-first, one actor at a time: drain any
+                // windows flushed by earlier closes, give the actor its
+                // final chance to emit (outputs still open), then close.
+                let topo = st.topo.clone();
+                for id in topo {
+                    loop {
+                        self.sync_external(workflow);
+                        let st = self.state.as_mut().expect("initialized");
+                        if st.queues[id.0].is_empty() {
+                            break;
+                        }
+                        self.fire_one(workflow, id.0)?;
+                    }
+                    let now = self.mode.now();
+                    let st = self.state.as_mut().expect("initialized");
+                    let ctx = &mut st.contexts[id.0];
+                    ctx.set_now(now);
+                    workflow.node_mut(id).actor_mut().finish(ctx)?;
+                    let (emissions, trigger) = ctx.take_emissions();
+                    self.report.events_routed +=
+                        st.fabric.route(id, emissions, trigger.as_ref(), now)?;
                     st.fabric.close_actor_outputs(id, now)?;
                 }
                 self.sync_external(workflow);

@@ -275,6 +275,7 @@ fn pool_matches_threaded_event_flow_on_linear_road() {
     let workload = Workload::generate(WorkloadConfig {
         duration_secs: 30,
         l_rating: 0.05,
+        expressways: 1,
         seed: 7,
         base_initial_cars: 200,
         base_final_cars: 400,

@@ -23,6 +23,7 @@ fn policies_agree_on_linear_road_event_flow() {
     let workload = Workload::generate(WorkloadConfig {
         duration_secs: 30,
         l_rating: 0.05,
+        expressways: 1,
         seed: 7,
         base_initial_cars: 200,
         base_final_cars: 400,

@@ -1,0 +1,325 @@
+//! Keyed actor sharding: the builder expands a `shard()`-marked actor into
+//! splitter → replicas → ordered merge, and every director runs the
+//! expanded graph unchanged with output equal — including order — to the
+//! unsharded run.
+
+use std::collections::HashMap;
+
+use confluence::core::actor::{Actor, FireContext, IoSignature};
+use confluence::core::actors::{Collector, VecSource};
+use confluence::core::director::ddf::DdfDirector;
+use confluence::core::director::de::DeDirector;
+use confluence::core::director::pool::PoolDirector;
+use confluence::core::director::sdf::SdfDirector;
+use confluence::core::director::threaded::ThreadedDirector;
+use confluence::core::director::Director;
+use confluence::core::error::{Error, Result};
+use confluence::core::graph::{Shard, Workflow, WorkflowBuilder};
+use confluence::core::time::Micros;
+use confluence::core::token::Token;
+use confluence::sched::cost::TableCostModel;
+use confluence::sched::policies::FifoScheduler;
+use confluence::sched::ScwfDirector;
+
+fn rec(k: i64, v: i64) -> Token {
+    Token::record().field("k", k).field("v", v).build()
+}
+
+/// Per-key running sum: stateful, but only over state partitioned by the
+/// shard key, so it is safe to replicate.
+#[derive(Default)]
+struct KeyedSum {
+    sums: HashMap<i64, i64>,
+}
+
+impl Actor for KeyedSum {
+    fn signature(&self) -> IoSignature {
+        IoSignature::transform("in", "out")
+    }
+    fn fire(&mut self, ctx: &mut dyn FireContext) -> Result<()> {
+        while let Some(w) = ctx.get(0) {
+            for t in w.tokens() {
+                let k = t.int_field("k")?;
+                let v = t.int_field("v")?;
+                let sum = self.sums.entry(k).or_insert(0);
+                *sum += v;
+                ctx.emit(0, rec(k, *sum));
+            }
+        }
+        Ok(())
+    }
+    fn replicate(&self) -> Option<Box<dyn Actor>> {
+        Some(Box::<KeyedSum>::default())
+    }
+}
+
+fn inputs() -> Vec<Token> {
+    (0..40).map(|i| rec(i % 5, i)).collect()
+}
+
+/// The reference result: running sums in input order.
+fn expected() -> Vec<(i64, i64)> {
+    let mut sums: HashMap<i64, i64> = HashMap::new();
+    inputs()
+        .iter()
+        .map(|t| {
+            let k = t.int_field("k").unwrap();
+            let v = t.int_field("v").unwrap();
+            let s = sums.entry(k).or_insert(0);
+            *s += v;
+            (k, *s)
+        })
+        .collect()
+}
+
+fn build(replicas: Option<usize>) -> (Workflow, Collector) {
+    let c = Collector::new();
+    let mut b = WorkflowBuilder::new("sharded-sum");
+    let s = b.add_actor("src", VecSource::new(inputs()));
+    let a = b.add_actor("sum", KeyedSum::default());
+    let k = b.add_actor("sink", c.actor());
+    b.link(s.port("out"), a.port("in")).unwrap();
+    b.link(a.port("out"), k.port("in")).unwrap();
+    if let Some(n) = replicas {
+        b.shard(a, Shard::by_fields(&["k"]).replicas(n)).unwrap();
+    }
+    (b.build().unwrap(), c)
+}
+
+fn collected(c: &Collector) -> Vec<(i64, i64)> {
+    c.tokens()
+        .iter()
+        .map(|t| (t.int_field("k").unwrap(), t.int_field("v").unwrap()))
+        .collect()
+}
+
+fn run_under(name: &str, wf: &mut Workflow) {
+    match name {
+        "threaded" => ThreadedDirector::new().run(wf).map(|_| ()).unwrap(),
+        "pool" => PoolDirector::new()
+            .with_workers(4)
+            .run(wf)
+            .map(|_| ())
+            .unwrap(),
+        "ddf" => DdfDirector::new().run(wf).map(|_| ()).unwrap(),
+        "de" => DeDirector::new().run(wf).map(|_| ()).unwrap(),
+        "scwf" => {
+            let cost = TableCostModel::uniform(Micros(10), Micros(1));
+            ScwfDirector::virtual_time(Box::new(FifoScheduler::new(5)), Box::new(cost))
+                .run(wf)
+                .map(|_| ())
+                .unwrap()
+        }
+        other => panic!("unknown director {other}"),
+    }
+}
+
+#[test]
+fn sharded_run_matches_unsharded_in_order_under_every_director() {
+    for director in ["threaded", "pool", "ddf", "de", "scwf"] {
+        for replicas in [2, 3] {
+            let (mut wf, c) = build(Some(replicas));
+            run_under(director, &mut wf);
+            assert_eq!(
+                collected(&c),
+                expected(),
+                "director {director}, {replicas} replicas"
+            );
+        }
+    }
+}
+
+#[test]
+fn expansion_generates_splitter_replicas_and_merge() {
+    let (wf, _c) = build(Some(3));
+    // src + splitter (in the base slot) + sink + 3 replicas + merge.
+    assert_eq!(wf.actor_count(), 7);
+    let groups = wf.shard_groups();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].base, "sum");
+    assert_eq!(groups[0].replicas.len(), 3);
+    let dot = wf.to_dot();
+    assert!(dot.contains("cluster_shard0"), "dot clusters the group:\n{dot}");
+    assert!(dot.contains("sum x3"), "cluster label names the base:\n{dot}");
+}
+
+#[test]
+fn replica_count_one_is_a_structural_noop() {
+    let (wf, c) = build(Some(1));
+    let (plain, _) = build(None);
+    assert_eq!(wf.actor_count(), plain.actor_count());
+    assert!(wf.shard_groups().is_empty());
+    let mut wf = wf;
+    ThreadedDirector::new().run(&mut wf).unwrap();
+    assert_eq!(collected(&c), expected());
+}
+
+#[test]
+fn sdf_rejects_sharded_graphs_cleanly() {
+    // Replicas declare no SDF rates, so schedule compilation must fail
+    // with a clear error instead of mis-scheduling the expanded graph.
+    let (mut wf, _c) = build(Some(2));
+    match SdfDirector::new().run(&mut wf) {
+        Err(Error::Sdf(_)) => {}
+        other => panic!("expected SDF rate error, got {other:?}"),
+    }
+}
+
+#[test]
+fn engine_configure_runs_sharded_graph_with_shard_telemetry() {
+    use confluence::prelude::{ChannelPolicy, Engine, ExecConfig};
+    let (wf, c) = build(Some(2));
+    let mut engine = Engine::new(wf).configure(
+        ExecConfig::new()
+            .workers(2)
+            .channel_policy(ChannelPolicy::unbounded()),
+    );
+    engine.run().unwrap();
+    assert_eq!(collected(&c), expected());
+    let snap = engine.snapshot();
+    let shards = snap.shards();
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].base, "sum");
+    assert_eq!(shards[0].replicas.len(), 2);
+    assert!(shards[0].total_fires() > 0);
+    assert!(shards[0].imbalance() >= 1.0);
+    let prom = snap.to_prometheus();
+    assert!(
+        prom.contains("confluence_shard_replica_fires_total{shard=\"sum\",replica=\"0\"}"),
+        "per-shard series exported:\n{prom}"
+    );
+    assert!(prom.contains("confluence_shard_replica_queue_high_water{shard=\"sum\",replica=\"1\"}"));
+}
+
+mod merge_order {
+    use std::collections::VecDeque;
+
+    use confluence::core::actor::{Actor, FireContext};
+    use confluence::core::event::CwEvent;
+    use confluence::core::shard::OrderedMerge;
+    use confluence::core::time::Timestamp;
+    use confluence::core::token::Token;
+    use confluence::core::window::Window;
+    use proptest::prelude::*;
+
+    /// Minimal context: one pre-loaded window per fire, captured output.
+    struct Ctx {
+        inbox: VecDeque<(usize, Window)>,
+        out: Vec<Token>,
+    }
+
+    impl Ctx {
+        fn push(&mut self, port: usize, token: Token) {
+            self.inbox.push_back((
+                port,
+                Window {
+                    group: Token::Unit,
+                    events: vec![CwEvent::external(token, Timestamp(0))],
+                    formed_at: Timestamp(0),
+                    timed_out: false,
+                },
+            ));
+        }
+    }
+
+    impl FireContext for Ctx {
+        fn now(&self) -> Timestamp {
+            Timestamp(0)
+        }
+        fn get(&mut self, port: usize) -> Option<Window> {
+            let at = self.inbox.iter().position(|(p, _)| *p == port)?;
+            self.inbox.remove(at).map(|(_, w)| w)
+        }
+        fn get_any(&mut self) -> Option<(usize, Window)> {
+            self.inbox.pop_front()
+        }
+        fn emit(&mut self, _port: usize, token: Token) {
+            self.out.push(token);
+        }
+    }
+
+    fn data(seq: i64, j: i64) -> Token {
+        Token::record().field("seq", seq).field("j", j).build()
+    }
+
+    fn ack(seq: i64, count: usize) -> Token {
+        Token::record()
+            .field("seq", seq)
+            .field("count", count as i64)
+            .build()
+    }
+
+    proptest! {
+        /// For any assignment of firing groups to replicas and ANY
+        /// interleaving of the replica delivery streams (each replica's own
+        /// stream stays FIFO — that much the channels guarantee), the merge
+        /// emits every token exactly once, in global dispatch-seq order.
+        #[test]
+        fn merge_restores_dispatch_order_under_adversarial_interleaving(
+            groups in prop::collection::vec((0usize..4, 0usize..3), 1..25),
+            replicas in 2usize..5,
+            picks in prop::collection::vec(0usize..64, 0..256),
+        ) {
+            // Per-replica FIFO delivery queues: data tokens then the ack,
+            // groups in seq order — exactly what a replica emits.
+            let mut queues: Vec<VecDeque<(usize, Token)>> =
+                (0..replicas).map(|_| VecDeque::new()).collect();
+            let mut expected = Vec::new();
+            for (i, (rsel, count)) in groups.iter().enumerate() {
+                let seq = i as i64;
+                let r = rsel % replicas;
+                for j in 0..*count {
+                    queues[r].push_back((r, data(seq, j as i64)));
+                    expected.push((seq, j as i64));
+                }
+                queues[r].push_back((replicas + r, ack(seq, *count)));
+            }
+            let mut merge = OrderedMerge::new(replicas);
+            let mut ctx = Ctx { inbox: VecDeque::new(), out: Vec::new() };
+            let mut k = 0usize;
+            loop {
+                let live: Vec<usize> =
+                    (0..replicas).filter(|&r| !queues[r].is_empty()).collect();
+                if live.is_empty() {
+                    break;
+                }
+                let pick = picks.get(k).copied().unwrap_or(k);
+                k += 1;
+                let r = live[pick % live.len()];
+                let (port, token) = queues[r].pop_front().unwrap();
+                ctx.push(port, token);
+                merge.fire(&mut ctx).unwrap();
+            }
+            merge.finish(&mut ctx).unwrap();
+            let emitted: Vec<(i64, i64)> = ctx
+                .out
+                .iter()
+                .map(|t| (t.int_field("seq").unwrap(), t.int_field("j").unwrap()))
+                .collect();
+            prop_assert_eq!(emitted, expected);
+        }
+    }
+}
+
+#[test]
+fn sharding_a_stateful_nonreplicable_actor_fails_at_build() {
+    struct Opaque;
+    impl Actor for Opaque {
+        fn signature(&self) -> IoSignature {
+            IoSignature::transform("in", "out")
+        }
+        fn fire(&mut self, _ctx: &mut dyn FireContext) -> Result<()> {
+            Ok(())
+        }
+    }
+    let mut b = WorkflowBuilder::new("opaque");
+    let s = b.add_actor("src", VecSource::new(vec![rec(0, 0)]));
+    let a = b.add_actor("op", Opaque);
+    b.link(s, a.input(0)).unwrap();
+    b.shard(a, Shard::by_fields(&["k"]).replicas(2)).unwrap();
+    let err = b.build().unwrap_err();
+    assert!(
+        format!("{err}").contains("replicate"),
+        "error should point at Actor::replicate: {err}"
+    );
+}
